@@ -1,0 +1,215 @@
+// Benchmark harness regenerating the paper's evaluation (Section 5).
+// One benchmark per experiment id from DESIGN.md:
+//
+//	BenchmarkFigure4/*        both panels of Figure 4
+//	BenchmarkClaimC1/*        BOCC vs MVCC at low contention, 24 readers
+//	BenchmarkClaimC2/*        reader-dominated throughput split
+//	BenchmarkClaimC3/*        consistency under extreme contention
+//	BenchmarkAblation*        design-choice ablations A1–A5
+//
+// Every benchmark runs a fixed-duration workload cell (not b.N
+// iterations) and reports throughput via ReportMetric: Ktps is the
+// paper's Figure 4 y-axis, abort_pct the abort rate. Cells are scaled
+// down (small table, short duration) so the whole suite completes in
+// minutes; cmd/sibench runs paper-scale sweeps.
+package sistream_test
+
+import (
+	"testing"
+	"time"
+
+	"sistream/internal/bench"
+)
+
+// cell runs one workload cell and reports the paper's metrics.
+func cell(b *testing.B, cfg bench.Config) bench.Result {
+	b.Helper()
+	if cfg.Backend == "lsm" {
+		cfg.Dir = b.TempDir()
+	}
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.ReportMetric(last.TotalTps/1000, "Ktps")
+	b.ReportMetric(last.AbortRate()*100, "abort_pct")
+	b.ReportMetric(last.WriterTps, "writer_tps")
+	if last.Violations > 0 {
+		b.Fatalf("consistency violations: %d", last.Violations)
+	}
+	return last
+}
+
+func benchCfg() bench.Config {
+	cfg := bench.Default()
+	cfg.Backend = "lsm"
+	cfg.TableSize = 20_000
+	cfg.Duration = 300 * time.Millisecond
+	return cfg
+}
+
+var (
+	figureThetas    = []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	figureProtocols = []string{"mvcc", "s2pl", "bocc"}
+)
+
+// BenchmarkFigure4 regenerates both panels of Figure 4: throughput vs.
+// contention level for 4 and 24 concurrent ad-hoc queries under all three
+// protocols, with synchronous persistent writes and 10-op transactions.
+func BenchmarkFigure4(b *testing.B) {
+	for _, readers := range []int{4, 24} {
+		for _, proto := range figureProtocols {
+			for _, theta := range figureThetas {
+				name := benchName(proto, readers, theta)
+				b.Run(name, func(b *testing.B) {
+					cfg := benchCfg()
+					cfg.Protocol = proto
+					cfg.Readers = readers
+					cfg.Theta = theta
+					cell(b, cfg)
+				})
+			}
+		}
+	}
+}
+
+func benchName(proto string, readers int, theta float64) string {
+	return "readers=" + itoa(readers) + "/" + proto + "/theta=" + ftoa(theta)
+}
+
+// BenchmarkClaimC1: BOCC vs MVCC at theta=0 with 24 readers (the paper
+// measures BOCC ~5% ahead; the relative ordering is hardware-dependent,
+// see EXPERIMENTS.md).
+func BenchmarkClaimC1(b *testing.B) {
+	for _, proto := range []string{"mvcc", "bocc"} {
+		b.Run(proto, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Protocol = proto
+			cfg.Readers = 24
+			cfg.Theta = 0
+			cell(b, cfg)
+		})
+	}
+}
+
+// BenchmarkClaimC2: with synchronous persistence the readers contribute
+// almost all throughput ("due to the synchronous writing, the readers
+// ... contribute almost exclusively to the total throughput").
+func BenchmarkClaimC2(b *testing.B) {
+	for _, readers := range []int{4, 24} {
+		b.Run("readers="+itoa(readers), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Readers = readers
+			res := cell(b, cfg)
+			b.ReportMetric(100*res.ReaderTps/res.TotalTps, "reader_share_pct")
+		})
+	}
+}
+
+// BenchmarkClaimC3: ACID maintained under extreme parallelism and
+// contention — the online checker verifies every committed reader saw a
+// consistent multi-state snapshot (cell fails on any violation).
+func BenchmarkClaimC3(b *testing.B) {
+	for _, proto := range figureProtocols {
+		b.Run(proto, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Protocol = proto
+			cfg.Readers = 24
+			cfg.Theta = 2.9
+			cfg.CheckConsistency = true
+			cell(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationSlots (A1): initial version-array size vs. GC
+// pressure under contention.
+func BenchmarkAblationSlots(b *testing.B) {
+	for _, slots := range []int{2, 4, 8, 16} {
+		b.Run("slots="+itoa(slots), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Theta = 2.0
+			cfg.VersionSlots = slots
+			cell(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationGroupSize (A2): consistency-protocol overhead as the
+// topology group grows ("adds almost no overhead in our case").
+func BenchmarkAblationGroupSize(b *testing.B) {
+	for _, states := range []int{1, 2, 4} {
+		b.Run("states="+itoa(states), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.States = states
+			cell(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationSync (A3): synchronous vs. asynchronous base-table
+// writes — the knob that makes the writer I/O-bound in the paper's setup.
+func BenchmarkAblationSync(b *testing.B) {
+	for _, sync := range []bool{true, false} {
+		name := "sync=false"
+		if sync {
+			name = "sync=true"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Sync = sync
+			cell(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationBackend (A4): persistent LSM base table vs. the
+// in-memory map backend.
+func BenchmarkAblationBackend(b *testing.B) {
+	for _, backend := range []string{"lsm", "mem"} {
+		b.Run(backend, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Backend = backend
+			cell(b, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationMultiWriter (A5): First-Committer-Wins abort behavior
+// with concurrent writers under rising contention.
+func BenchmarkAblationMultiWriter(b *testing.B) {
+	for _, writers := range []int{1, 2, 4} {
+		for _, theta := range []float64{0, 2.0} {
+			b.Run("writers="+itoa(writers)+"/theta="+ftoa(theta), func(b *testing.B) {
+				cfg := benchCfg()
+				cfg.Writers = writers
+				cfg.Theta = theta
+				cell(b, cfg)
+			})
+		}
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(f float64) string {
+	whole := int(f)
+	frac := int(f*10) % 10
+	return itoa(whole) + "." + itoa(frac)
+}

@@ -1,0 +1,185 @@
+// Command sibench regenerates the paper's evaluation (Section 5): the two
+// panels of Figure 4 (throughput vs. contention for 4 and 24 concurrent
+// ad-hoc queries under MVCC, S2PL and BOCC), the prose claims C1–C3, and
+// the ablation experiments listed in DESIGN.md.
+//
+// Usage:
+//
+//	sibench -figure 4                    # both Figure 4 panels
+//	sibench -claim c1|c2|c3              # Section 5 prose claims
+//	sibench -cell -protocol mvcc -theta 2 -readers 24   # one cell
+//	sibench -csv                         # CSV instead of tables
+//
+// Scale knobs: -tablesize (paper: 1000000), -duration per cell,
+// -backend mem|lsm, -dir for LSM data.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"sistream/internal/bench"
+)
+
+func main() {
+	var (
+		figure    = flag.Int("figure", 0, "reproduce figure 4 (both panels)")
+		claim     = flag.String("claim", "", "reproduce a Section 5 claim: c1, c2 or c3")
+		cell      = flag.Bool("cell", false, "run a single cell with the flags below")
+		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
+		backend   = flag.String("backend", "lsm", "mem | lsm")
+		dir       = flag.String("dir", "", "LSM data directory (default: temp)")
+		tableSize = flag.Int("tablesize", 100_000, "keys per state (paper: 1000000)")
+		readers   = flag.Int("readers", 4, "concurrent ad-hoc queries")
+		writers   = flag.Int("writers", 1, "continuous writer queries")
+		txnOps    = flag.Int("ops", 10, "operations per transaction")
+		theta     = flag.Float64("theta", 0, "Zipfian contention level")
+		duration  = flag.Duration("duration", 2*time.Second, "measured interval per cell")
+		sync      = flag.Bool("sync", true, "synchronous (durable) commits")
+		check     = flag.Bool("check", false, "enable the multi-state consistency checker")
+		csv       = flag.Bool("csv", false, "CSV output")
+		states    = flag.Int("states", 2, "states per topology group")
+	)
+	flag.Parse()
+
+	base := bench.Default()
+	base.Backend = *backend
+	base.TableSize = *tableSize
+	base.Readers = *readers
+	base.Writers = *writers
+	base.TxnOps = *txnOps
+	base.Theta = *theta
+	base.Duration = *duration
+	base.Sync = *sync
+	base.Protocol = *protocol
+	base.States = *states
+	base.CheckConsistency = *check
+
+	root := *dir
+	if root == "" {
+		var err error
+		root, err = os.MkdirTemp("", "sibench-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(root)
+	}
+	cellDirs := 0
+	dirFor := func(string, float64) string {
+		cellDirs++
+		return filepath.Join(root, fmt.Sprintf("cell-%03d", cellDirs))
+	}
+	base.Dir = dirFor("", 0)
+
+	switch {
+	case *figure == 4:
+		runFigure4(base, dirFor, *csv)
+	case *claim != "":
+		runClaim(*claim, base, dirFor)
+	case *cell:
+		res, err := bench.Run(base)
+		if err != nil {
+			fatal(err)
+		}
+		if *csv {
+			bench.PrintCSV(os.Stdout, []bench.Result{res})
+		} else {
+			bench.PrintResult(os.Stdout, res)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+var (
+	figureThetas    = []float64{0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0}
+	figureProtocols = []string{"mvcc", "s2pl", "bocc"}
+)
+
+// runFigure4 reproduces both panels: readers = 4 and readers = 24,
+// theta swept 0..3, all three protocols.
+func runFigure4(base bench.Config, dirFor func(string, float64) string, csv bool) {
+	var all []bench.Result
+	for _, readers := range []int{4, 24} {
+		cfg := base
+		cfg.Readers = readers
+		results, err := bench.Sweep(cfg, figureProtocols, figureThetas, dirFor)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, results...)
+		if !csv {
+			title := fmt.Sprintf("Figure 4: contention sweep, concurrent ad-hoc queries = %d "+
+				"(tablesize=%d, ops=%d, sync=%t, backend=%s, %s/cell)",
+				readers, cfg.TableSize, cfg.TxnOps, cfg.Sync, cfg.Backend, cfg.Duration)
+			bench.PrintFigure(os.Stdout, title, results)
+			fmt.Println()
+		}
+	}
+	if csv {
+		bench.PrintCSV(os.Stdout, all)
+	}
+}
+
+// runClaim reproduces one of the Section 5 prose claims.
+func runClaim(name string, base bench.Config, dirFor func(string, float64) string) {
+	switch name {
+	case "c1":
+		// BOCC ~5% faster than MVCC at low contention, many readers.
+		fmt.Println("Claim C1: BOCC slightly ahead of MVCC at low contention with many ad-hoc queries")
+		cfg := base
+		cfg.Readers = 24
+		cfg.Theta = 0
+		for _, proto := range []string{"mvcc", "bocc"} {
+			cfg.Protocol = proto
+			cfg.Dir = dirFor(proto, 0)
+			res, err := bench.Run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-5s %10.1f Ktps\n", proto, res.TotalTps/1000)
+		}
+	case "c2":
+		// Readers dominate total throughput under synchronous writes.
+		fmt.Println("Claim C2: with synchronous persistence, readers contribute almost all throughput")
+		for _, readers := range []int{4, 24} {
+			cfg := base
+			cfg.Protocol = "mvcc"
+			cfg.Readers = readers
+			cfg.Dir = dirFor("mvcc", float64(readers))
+			res, err := bench.Run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  readers=%-3d reader-tps=%10.1f writer-tps=%8.1f reader-share=%5.1f%%\n",
+				readers, res.ReaderTps, res.WriterTps, 100*res.ReaderTps/res.TotalTps)
+		}
+	case "c3":
+		// ACID maintained under extreme parallelism and contention.
+		fmt.Println("Claim C3: no isolation/consistency violations at theta=2.9 with 24 readers")
+		for _, proto := range figureProtocols {
+			cfg := base
+			cfg.Protocol = proto
+			cfg.Readers = 24
+			cfg.Theta = 2.9
+			cfg.CheckConsistency = true
+			cfg.Dir = dirFor(proto, 2.9)
+			res, err := bench.Run(cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  %-5s committed-reads=%-9d violations=%d\n", proto, res.ReaderCommits, res.Violations)
+		}
+	default:
+		fatal(fmt.Errorf("unknown claim %q (want c1, c2 or c3)", name))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sibench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Ad-hoc analytics under concurrency: a continuous writer keeps two
+// states of one topology group in lockstep while ad-hoc snapshot queries
+// run concurrently. Snapshot isolation guarantees every query sees a
+// consistent pair — the demo verifies it live and also shows what the
+// paper's Section 4.2 promises: readers never block and never abort under
+// a single writer.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sistream"
+)
+
+func main() {
+	store := sistream.NewMemStore()
+	defer store.Close()
+	ctx := sistream.NewContext()
+	accounts, err := ctx.CreateTable("accounts", store, sistream.TableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	audit, err := ctx.CreateTable("audit", store, sistream.TableOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("ledger", accounts, audit); err != nil {
+		log.Fatal(err)
+	}
+	p := sistream.NewSI(ctx)
+
+	// The invariant: accounts["total"] always equals audit["total"].
+	// Each transaction bumps both; a torn read would catch them apart.
+	const rounds = 5000
+	var wg sync.WaitGroup
+	var checked, torn, aborted atomic.Int64
+	stop := make(chan struct{})
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := p.BeginReadOnly()
+				if err != nil {
+					log.Fatal(err)
+				}
+				a, _, err1 := p.Read(tx, accounts, "total")
+				b, _, err2 := p.Read(tx, audit, "total")
+				if err1 != nil || err2 != nil {
+					_ = p.Abort(tx)
+					aborted.Add(1)
+					continue
+				}
+				if err := p.Commit(tx); err != nil {
+					aborted.Add(1)
+					continue
+				}
+				checked.Add(1)
+				if u64(a) != u64(b) {
+					torn.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	for i := uint64(1); i <= rounds; i++ {
+		tx, err := p.Begin()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Write(tx, accounts, "total", be(i)); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Write(tx, audit, "total", be(i)); err != nil {
+			log.Fatal(err)
+		}
+		if err := p.Commit(tx); err != nil {
+			log.Fatal(err) // single writer: must never abort under SI
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("writer: %d multi-state transactions in %v\n", rounds, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("readers: %d consistent snapshots, %d torn, %d aborted\n",
+		checked.Load(), torn.Load(), aborted.Load())
+	if torn.Load() > 0 {
+		log.Fatal("BUG: snapshot isolation violated")
+	}
+	if aborted.Load() > 0 {
+		log.Fatal("BUG: SI readers must never abort with a single writer")
+	}
+	fmt.Println("snapshot isolation held: every ad-hoc query saw a consistent multi-state snapshot")
+}
+
+func be(v uint64) []byte {
+	out := make([]byte, 8)
+	binary.BigEndian.PutUint64(out, v)
+	return out
+}
+
+func u64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}

@@ -1,0 +1,292 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sistream/internal/kv"
+	"sistream/internal/lsm"
+	"sistream/internal/metrics"
+	"sistream/internal/txn"
+	"sistream/internal/zipf"
+)
+
+// chkKey is the shared invariant token key used by CheckConsistency: the
+// writer keeps it identical across all states within each transaction, so
+// any committed reader snapshot must observe equal values everywhere.
+const chkKey = "\x00chk"
+
+// Run executes one benchmark cell and returns its result.
+func Run(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+
+	// --- base store -----------------------------------------------------
+	var store kv.Store
+	switch cfg.Backend {
+	case "mem":
+		store = kv.NewMem()
+	case "lsm":
+		db, err := lsm.Open(cfg.Dir, lsm.Options{})
+		if err != nil {
+			return Result{}, err
+		}
+		store = db
+	}
+	defer store.Close()
+
+	// --- preload ---------------------------------------------------------
+	// Rows are bulk-loaded straight into the base store (no per-row sync)
+	// together with the LastCTS watermark; CreateGroup then recovers them
+	// into the version store — the same code path a restart uses, and far
+	// faster than a million synchronous transactions.
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+	const preloadCTS = 1
+	batch := kv.NewBatch(4096)
+	for s := 0; s < cfg.States; s++ {
+		prefix := fmt.Sprintf("s/state%d/", s)
+		for k := 0; k < cfg.TableSize; k++ {
+			batch.Put([]byte(prefix+keyString(uint64(k), cfg.KeyBytes)), value)
+			if batch.Len() >= 4096 {
+				if err := store.Apply(batch, false); err != nil {
+					return Result{}, err
+				}
+				batch.Reset()
+			}
+		}
+		batch.Put([]byte(fmt.Sprintf("m/state%d/lastcts", s)), encodeTS(preloadCTS))
+	}
+	if err := store.Apply(batch, true); err != nil {
+		return Result{}, err
+	}
+
+	// --- transactional setup ----------------------------------------------
+	ctx := txn.NewContext()
+	tables := make([]*txn.Table, cfg.States)
+	for s := 0; s < cfg.States; s++ {
+		t, err := ctx.CreateTable(txn.StateID(fmt.Sprintf("state%d", s)), store, txn.TableOptions{
+			SyncCommits:  cfg.Sync,
+			VersionSlots: cfg.VersionSlots,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		tables[s] = t
+	}
+	if _, err := ctx.CreateGroup("bench", tables...); err != nil {
+		return Result{}, err
+	}
+	var p txn.Protocol
+	switch cfg.Protocol {
+	case "mvcc":
+		p = txn.NewSI(ctx)
+	case "s2pl":
+		p = txn.NewS2PL(ctx)
+	case "bocc":
+		p = txn.NewBOCC(ctx)
+	}
+
+	// Seed the consistency token.
+	if cfg.CheckConsistency {
+		tx, err := p.Begin()
+		if err != nil {
+			return Result{}, err
+		}
+		for _, t := range tables {
+			if err := p.Write(tx, t, chkKey, encodeU64(0)); err != nil {
+				return Result{}, err
+			}
+		}
+		if err := p.Commit(tx); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// --- workers -----------------------------------------------------------
+	params := zipf.NewParams(uint64(cfg.TableSize), cfg.Theta)
+	var (
+		readerCommits, readerAborts atomic.Int64
+		writerCommits, writerAborts atomic.Int64
+		violations                  atomic.Int64
+		readLat, commitLat          metrics.Histogram
+		chkSeq                      atomic.Uint64
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer(s): the continuous stream query updating all states in
+	// TxnOps-operation transactions, keys Zipf-distributed.
+	for w := 0; w < cfg.Writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := zipf.New(params, seed)
+			val := make([]byte, cfg.ValueBytes)
+			copy(val, value)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx, err := p.Begin()
+				if err != nil {
+					return
+				}
+				ok := true
+				for i := 0; i < cfg.TxnOps && ok; i++ {
+					key := keyString(gen.Next(), cfg.KeyBytes)
+					tbl := tables[i%len(tables)]
+					if err := p.Write(tx, tbl, key, val); err != nil {
+						_ = p.Abort(tx)
+						writerAborts.Add(1)
+						ok = false
+					}
+				}
+				if !ok {
+					continue
+				}
+				if cfg.CheckConsistency {
+					seq := chkSeq.Add(1)
+					for _, t := range tables {
+						if err := p.Write(tx, t, chkKey, encodeU64(seq)); err != nil {
+							_ = p.Abort(tx)
+							writerAborts.Add(1)
+							ok = false
+							break
+						}
+					}
+					if !ok {
+						continue
+					}
+				}
+				start := time.Now()
+				if err := p.Commit(tx); err != nil {
+					writerAborts.Add(1)
+					continue
+				}
+				commitLat.RecordSince(start)
+				writerCommits.Add(1)
+			}
+		}(cfg.Seed + int64(w))
+	}
+
+	// Readers: ad-hoc queries doing TxnOps point reads across the states
+	// under one transaction.
+	for r := 0; r < cfg.Readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			gen := zipf.New(params, seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				start := time.Now()
+				tx, err := p.BeginReadOnly()
+				if err != nil {
+					return
+				}
+				ok := true
+				var chkVals [][]byte
+				for i := 0; i < cfg.TxnOps && ok; i++ {
+					key := keyString(gen.Next(), cfg.KeyBytes)
+					tbl := tables[i%len(tables)]
+					if _, _, err := p.Read(tx, tbl, key); err != nil {
+						_ = p.Abort(tx) // no-op if already dead (wait-die)
+						readerAborts.Add(1)
+						ok = false
+					}
+				}
+				if ok && cfg.CheckConsistency {
+					for _, t := range tables {
+						v, _, err := p.Read(tx, t, chkKey)
+						if err != nil {
+							_ = p.Abort(tx)
+							readerAborts.Add(1)
+							ok = false
+							break
+						}
+						chkVals = append(chkVals, append([]byte(nil), v...))
+					}
+				}
+				if !ok {
+					continue
+				}
+				if err := p.Commit(tx); err != nil {
+					readerAborts.Add(1)
+					continue
+				}
+				// Committed: snapshot must have been consistent.
+				for i := 1; i < len(chkVals); i++ {
+					if decodeU64(chkVals[i]) != decodeU64(chkVals[0]) {
+						violations.Add(1)
+					}
+				}
+				readLat.RecordSince(start)
+				readerCommits.Add(1)
+			}
+		}(cfg.Seed + 1000 + int64(r))
+	}
+
+	// --- measure -----------------------------------------------------------
+	began := time.Now()
+	timer := time.NewTimer(cfg.Duration)
+	<-timer.C
+	close(stop)
+	wg.Wait()
+	elapsed := time.Since(began)
+
+	res := Result{
+		Config:        cfg,
+		Elapsed:       elapsed,
+		ReaderCommits: readerCommits.Load(),
+		ReaderAborts:  readerAborts.Load(),
+		WriterCommits: writerCommits.Load(),
+		WriterAborts:  writerAborts.Load(),
+		ReadP50:       readLat.Quantile(0.5),
+		ReadP99:       readLat.Quantile(0.99),
+		CommitP50:     commitLat.Quantile(0.5),
+		CommitP99:     commitLat.Quantile(0.99),
+		Violations:    violations.Load(),
+	}
+	secs := elapsed.Seconds()
+	res.ReaderTps = float64(res.ReaderCommits) / secs
+	res.WriterTps = float64(res.WriterCommits) / secs
+	res.TotalTps = res.ReaderTps + res.WriterTps
+	return res, nil
+}
+
+// keyString renders rank k as a fixed-width key of n bytes.
+func keyString(k uint64, n int) string {
+	buf := make([]byte, n)
+	for i := n - 1; i >= 0; i-- {
+		buf[i] = byte('0' + k%10)
+		k /= 10
+	}
+	return string(buf)
+}
+
+func encodeTS(ts uint64) []byte {
+	out := make([]byte, 8)
+	binary.LittleEndian.PutUint64(out, ts)
+	return out
+}
+
+func encodeU64(v uint64) []byte { return encodeTS(v) }
+
+func decodeU64(b []byte) uint64 {
+	if len(b) < 8 {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}

@@ -1,0 +1,58 @@
+package kv
+
+// OpKind discriminates batch operations.
+type OpKind byte
+
+// Batch operation kinds.
+const (
+	OpPut OpKind = iota
+	OpDelete
+)
+
+// Op is one operation inside a Batch.
+type Op struct {
+	Kind  OpKind
+	Key   []byte
+	Value []byte // nil for deletes
+}
+
+// Batch accumulates operations to be applied atomically via Store.Apply.
+// The zero value is an empty batch ready for use. A Batch is not safe for
+// concurrent mutation.
+type Batch struct {
+	ops []Op
+}
+
+// NewBatch returns a batch with capacity for n operations.
+func NewBatch(n int) *Batch {
+	return &Batch{ops: make([]Op, 0, n)}
+}
+
+// Put appends a put operation. Key and value are copied.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, Op{Kind: OpPut, Key: cloneBytes(key), Value: cloneBytes(value)})
+}
+
+// Delete appends a delete operation. Key is copied.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, Op{Kind: OpDelete, Key: cloneBytes(key)})
+}
+
+// Len returns the number of operations in the batch.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Ops exposes the accumulated operations for Store implementations.
+// Callers must not mutate the returned slice.
+func (b *Batch) Ops() []Op { return b.ops }
+
+// Reset clears the batch for reuse, retaining capacity.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+func cloneBytes(p []byte) []byte {
+	if p == nil {
+		return nil
+	}
+	c := make([]byte, len(p))
+	copy(c, p)
+	return c
+}

@@ -1,0 +1,194 @@
+package kv
+
+import (
+	"bytes"
+	"sort"
+	"sync"
+)
+
+// memShards splits the key space to reduce mutex contention between the
+// continuous writer and concurrent ad-hoc readers. Must be a power of two.
+const memShards = 16
+
+// Mem is an in-memory Store backed by sharded hash maps. It is volatile:
+// Sync is a no-op and nothing survives Close. It serves unit tests and the
+// memory-vs-LSM backend ablation (experiment A4 in DESIGN.md).
+type Mem struct {
+	shards [memShards]memShard
+	closed sync.RWMutex // write-locked only by Close
+	dead   bool
+}
+
+type memShard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	s := &Mem{}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func shardFor(key []byte) int {
+	// FNV-1a, inlined to avoid interface allocations on the hot path.
+	var h uint32 = 2166136261
+	for _, c := range key {
+		h ^= uint32(c)
+		h *= 16777619
+	}
+	return int(h & (memShards - 1))
+}
+
+func (s *Mem) check() error {
+	if s.dead {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *Mem) Get(key []byte) ([]byte, bool, error) {
+	s.closed.RLock()
+	defer s.closed.RUnlock()
+	if err := s.check(); err != nil {
+		return nil, false, err
+	}
+	sh := &s.shards[shardFor(key)]
+	sh.mu.RLock()
+	v, ok := sh.m[string(key)]
+	sh.mu.RUnlock()
+	return v, ok, nil
+}
+
+// Put implements Store.
+func (s *Mem) Put(key, value []byte) error {
+	s.closed.RLock()
+	defer s.closed.RUnlock()
+	if err := s.check(); err != nil {
+		return err
+	}
+	sh := &s.shards[shardFor(key)]
+	sh.mu.Lock()
+	sh.m[string(key)] = cloneBytes(value)
+	sh.mu.Unlock()
+	return nil
+}
+
+// Delete implements Store.
+func (s *Mem) Delete(key []byte) error {
+	s.closed.RLock()
+	defer s.closed.RUnlock()
+	if err := s.check(); err != nil {
+		return err
+	}
+	sh := &s.shards[shardFor(key)]
+	sh.mu.Lock()
+	delete(sh.m, string(key))
+	sh.mu.Unlock()
+	return nil
+}
+
+// Apply implements Store. The batch is applied under per-shard locks in
+// shard order, so concurrent readers of a single key never observe a torn
+// batch for that key; cross-key atomicity for readers is provided a level
+// up by the MVCC table, which is the component responsible for isolation.
+func (s *Mem) Apply(b *Batch, _ bool) error {
+	s.closed.RLock()
+	defer s.closed.RUnlock()
+	if err := s.check(); err != nil {
+		return err
+	}
+	// Group ops per shard to take each lock once.
+	var perShard [memShards][]Op
+	for _, op := range b.Ops() {
+		i := shardFor(op.Key)
+		perShard[i] = append(perShard[i], op)
+	}
+	for i := range perShard {
+		if len(perShard[i]) == 0 {
+			continue
+		}
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, op := range perShard[i] {
+			if op.Kind == OpPut {
+				sh.m[string(op.Key)] = op.Value
+			} else {
+				delete(sh.m, string(op.Key))
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// Scan implements Store. It snapshots the matching keys under shard read
+// locks, sorts them, and then yields; mutations concurrent with Scan may
+// or may not be observed, which matches the interface contract for a
+// non-transactional base table.
+func (s *Mem) Scan(start, end []byte, fn func(key, value []byte) bool) error {
+	s.closed.RLock()
+	if err := s.check(); err != nil {
+		s.closed.RUnlock()
+		return err
+	}
+	type pair struct {
+		k string
+		v []byte
+	}
+	var pairs []pair
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		for k, v := range sh.m {
+			if start != nil && k < string(start) {
+				continue
+			}
+			if end != nil && k >= string(end) {
+				continue
+			}
+			pairs = append(pairs, pair{k, v})
+		}
+		sh.mu.RUnlock()
+	}
+	s.closed.RUnlock()
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	for _, p := range pairs {
+		if !fn([]byte(p.k), p.v) {
+			break
+		}
+	}
+	return nil
+}
+
+// Sync implements Store; the memory store has nothing to flush.
+func (s *Mem) Sync() error {
+	s.closed.RLock()
+	defer s.closed.RUnlock()
+	return s.check()
+}
+
+// Close implements Store.
+func (s *Mem) Close() error {
+	s.closed.Lock()
+	defer s.closed.Unlock()
+	if s.dead {
+		return ErrClosed
+	}
+	s.dead = true
+	for i := range s.shards {
+		s.shards[i].m = nil
+	}
+	return nil
+}
+
+// compile-time interface check
+var _ Store = (*Mem)(nil)
+
+// CompareKeys orders keys byte-lexicographically; exported for reuse by
+// other packages that must agree with Store's scan order.
+func CompareKeys(a, b []byte) int { return bytes.Compare(a, b) }

@@ -1,0 +1,213 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The manifest is the durable record of the tree's file layout. It is an
+// append-only sequence of versionEdit records (JSON payloads in the same
+// CRC frame the WAL uses). CURRENT names the live manifest file. Recovery
+// reads CURRENT, replays the manifest edits to rebuild the version, then
+// replays any WAL newer than the recorded logNum.
+
+// versionEdit is one durable state transition.
+type versionEdit struct {
+	// Comparator sanity tag; constant for this implementation.
+	Comparator string `json:"comparator,omitempty"`
+	// LogNum is the WAL generation whose contents are NOT yet in tables;
+	// logs older than this are obsolete.
+	LogNum uint64 `json:"log_num,omitempty"`
+	// NextFileNum is the next unallocated file number.
+	NextFileNum uint64 `json:"next_file_num,omitempty"`
+	// AddFiles lists tables created by this edit.
+	AddFiles []editFile `json:"add_files,omitempty"`
+	// DelFiles lists tables retired by this edit.
+	DelFiles []editFileRef `json:"del_files,omitempty"`
+}
+
+type editFile struct {
+	Level    int    `json:"level"`
+	Num      uint64 `json:"num"`
+	Size     uint64 `json:"size"`
+	Count    uint64 `json:"count"`
+	Smallest []byte `json:"smallest"`
+	Largest  []byte `json:"largest"`
+}
+
+type editFileRef struct {
+	Level int    `json:"level"`
+	Num   uint64 `json:"num"`
+}
+
+func walPath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.wal", num))
+}
+
+func sstPath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%06d.sst", num))
+}
+
+func manifestPath(dir string, num uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("MANIFEST-%06d", num))
+}
+
+func currentPath(dir string) string {
+	return filepath.Join(dir, "CURRENT")
+}
+
+// manifestWriter appends edits to the live manifest.
+type manifestWriter struct {
+	f *os.File
+}
+
+func newManifestWriter(path string) (*manifestWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open manifest: %w", err)
+	}
+	return &manifestWriter{f: f}, nil
+}
+
+func (m *manifestWriter) append(e *versionEdit) error {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := m.f.Write(append(hdr[:], payload...)); err != nil {
+		return err
+	}
+	return m.f.Sync()
+}
+
+func (m *manifestWriter) close() error {
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}
+
+// readManifest replays all edits in the manifest at path.
+func readManifest(path string, apply func(*versionEdit) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // torn tail from a crash during append
+			}
+			return err
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return nil
+		}
+		var e versionEdit
+		if err := json.Unmarshal(payload, &e); err != nil {
+			return fmt.Errorf("lsm: manifest decode: %w", err)
+		}
+		if err := apply(&e); err != nil {
+			return err
+		}
+	}
+}
+
+// writeCurrent atomically points CURRENT at the manifest with number num.
+func writeCurrent(dir string, num uint64) error {
+	tmp := filepath.Join(dir, "CURRENT.tmp")
+	content := fmt.Sprintf("MANIFEST-%06d\n", num)
+	if err := os.WriteFile(tmp, []byte(content), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, currentPath(dir)); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readCurrent returns the manifest number CURRENT points at.
+func readCurrent(dir string) (uint64, bool, error) {
+	data, err := os.ReadFile(currentPath(dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	name := strings.TrimSpace(string(data))
+	if !strings.HasPrefix(name, "MANIFEST-") {
+		return 0, false, fmt.Errorf("%w: CURRENT content %q", errCorrupt, name)
+	}
+	num, err := strconv.ParseUint(strings.TrimPrefix(name, "MANIFEST-"), 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("%w: CURRENT number: %v", errCorrupt, err)
+	}
+	return num, true, nil
+}
+
+// syncDir fsyncs a directory so renames/creates within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// listFiles inventories dir, returning WAL numbers, SSTable numbers and
+// manifest numbers found.
+func listFiles(dir string) (wals, ssts, manifests []uint64, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		switch {
+		case strings.HasSuffix(name, ".wal"):
+			if n, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64); err == nil {
+				wals = append(wals, n)
+			}
+		case strings.HasSuffix(name, ".sst"):
+			if n, err := strconv.ParseUint(strings.TrimSuffix(name, ".sst"), 10, 64); err == nil {
+				ssts = append(ssts, n)
+			}
+		case strings.HasPrefix(name, "MANIFEST-"):
+			if n, err := strconv.ParseUint(strings.TrimPrefix(name, "MANIFEST-"), 10, 64); err == nil {
+				manifests = append(manifests, n)
+			}
+		}
+	}
+	sort.Slice(wals, func(i, j int) bool { return wals[i] < wals[j] })
+	sort.Slice(ssts, func(i, j int) bool { return ssts[i] < ssts[j] })
+	sort.Slice(manifests, func(i, j int) bool { return manifests[i] < manifests[j] })
+	return wals, ssts, manifests, nil
+}

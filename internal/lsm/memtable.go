@@ -1,0 +1,158 @@
+package lsm
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+// entryKind discriminates live values from tombstones, both in the
+// memtable and inside SSTables.
+type entryKind byte
+
+const (
+	kindPut    entryKind = 1
+	kindDelete entryKind = 2
+)
+
+const (
+	maxSkipHeight = 12
+	skipBranching = 4
+)
+
+// memtable is a sorted in-memory buffer of the most recent writes,
+// implemented as a skip list. Last-writer-wins per key: an insert for an
+// existing key overwrites the node's value in place. Deletions are stored
+// as tombstones so they shadow older values in SSTables below.
+//
+// The memtable itself is not synchronized; the DB serializes writers and
+// protects readers with its own lock.
+type memtable struct {
+	head   *skipNode
+	height int
+	rng    *rand.Rand
+	bytes  int // approximate memory footprint of keys+values
+	count  int
+}
+
+type skipNode struct {
+	key  []byte
+	val  []byte
+	kind entryKind
+	next [maxSkipHeight]*skipNode
+}
+
+// memtablePool recycles the rand source; memtables themselves are cheap.
+var memtableSeed = func() func() int64 {
+	var mu sync.Mutex
+	var s int64 = 0x5eed
+	return func() int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		s += 0x9e3779b97f4a7c1 // golden-ratio increment keeps seeds distinct
+		return s
+	}
+}()
+
+func newMemtable() *memtable {
+	return &memtable{
+		head:   &skipNode{},
+		height: 1,
+		rng:    rand.New(rand.NewSource(memtableSeed())),
+	}
+}
+
+func (m *memtable) randomHeight() int {
+	h := 1
+	for h < maxSkipHeight && m.rng.Intn(skipBranching) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= k, filling prev
+// with the rightmost node before it on every level when prev != nil.
+func (m *memtable) findGreaterOrEqual(k []byte, prev *[maxSkipHeight]*skipNode) *skipNode {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for next := x.next[level]; next != nil && bytes.Compare(next.key, k) < 0; next = x.next[level] {
+			x = next
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// set inserts or overwrites key with (kind, value).
+func (m *memtable) set(key, value []byte, kind entryKind) {
+	var prev [maxSkipHeight]*skipNode
+	node := m.findGreaterOrEqual(key, &prev)
+	if node != nil && bytes.Equal(node.key, key) {
+		m.bytes += len(value) - len(node.val)
+		node.val = append(node.val[:0], value...)
+		node.kind = kind
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for level := m.height; level < h; level++ {
+			prev[level] = m.head
+		}
+		m.height = h
+	}
+	n := &skipNode{
+		key:  append([]byte(nil), key...),
+		val:  append([]byte(nil), value...),
+		kind: kind,
+	}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	m.bytes += len(key) + len(value) + 48 // node overhead estimate
+	m.count++
+}
+
+// get looks up key. found=false means the memtable knows nothing about the
+// key; found=true with kind==kindDelete means the key is known deleted.
+func (m *memtable) get(key []byte) (value []byte, kind entryKind, found bool) {
+	n := m.findGreaterOrEqual(key, nil)
+	if n != nil && bytes.Equal(n.key, key) {
+		return n.val, n.kind, true
+	}
+	return nil, 0, false
+}
+
+// approximateBytes returns the estimated memory footprint.
+func (m *memtable) approximateBytes() int { return m.bytes }
+
+// len returns the number of distinct keys (including tombstones).
+func (m *memtable) len() int { return m.count }
+
+// iterator walks the memtable in ascending key order.
+type memIterator struct {
+	m    *memtable
+	node *skipNode
+}
+
+func (m *memtable) iterator() *memIterator {
+	return &memIterator{m: m}
+}
+
+// seekToFirst positions at the smallest key.
+func (it *memIterator) seekToFirst() { it.node = it.m.head.next[0] }
+
+// seek positions at the first key >= k.
+func (it *memIterator) seek(k []byte) { it.node = it.m.findGreaterOrEqual(k, nil) }
+
+// valid reports whether the iterator is positioned at an entry.
+func (it *memIterator) valid() bool { return it.node != nil }
+
+// next advances to the following entry.
+func (it *memIterator) next() { it.node = it.node.next[0] }
+
+func (it *memIterator) key() []byte     { return it.node.key }
+func (it *memIterator) value() []byte   { return it.node.val }
+func (it *memIterator) kind() entryKind { return it.node.kind }

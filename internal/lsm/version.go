@@ -1,0 +1,163 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+)
+
+// numLevels is the depth of the LSM tree. Level 0 holds freshly flushed,
+// possibly overlapping tables (newest first); levels 1+ hold disjoint key
+// ranges sorted by smallest key.
+const numLevels = 7
+
+// fileMeta describes one SSTable on disk. Instances are shared between
+// versions and reference-counted: when the last version referencing an
+// obsolete file releases it, the reader is closed and the file removed.
+type fileMeta struct {
+	num      uint64
+	size     uint64
+	count    uint64
+	smallest []byte
+	largest  []byte
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
+	reader   *tableReader
+	dir      string
+}
+
+func (f *fileMeta) path() string {
+	return sstPath(f.dir, f.num)
+}
+
+func (f *fileMeta) ref() { f.refs.Add(1) }
+
+func (f *fileMeta) unref() {
+	if n := f.refs.Add(-1); n == 0 && f.obsolete.Load() {
+		if f.reader != nil {
+			f.reader.close()
+			f.reader = nil
+		}
+		os.Remove(f.path())
+	} else if n < 0 {
+		panic(fmt.Sprintf("lsm: fileMeta %d refcount underflow", f.num))
+	}
+}
+
+// overlaps reports whether the file's key range intersects [start, end];
+// nil bounds mean unbounded.
+func (f *fileMeta) overlaps(start, end []byte) bool {
+	if start != nil && bytes.Compare(f.largest, start) < 0 {
+		return false
+	}
+	if end != nil && bytes.Compare(f.smallest, end) > 0 {
+		return false
+	}
+	return true
+}
+
+// version is an immutable snapshot of the table layout. Readers hold a
+// reference for the duration of an operation so compaction can retire
+// files without synchronizing with in-flight reads.
+type version struct {
+	levels [numLevels][]*fileMeta
+	refs   atomic.Int32
+}
+
+func newVersion() *version {
+	v := &version{}
+	v.refs.Store(1)
+	return v
+}
+
+func (v *version) ref() { v.refs.Add(1) }
+
+func (v *version) unref() {
+	if n := v.refs.Add(-1); n == 0 {
+		for _, level := range v.levels {
+			for _, f := range level {
+				f.unref()
+			}
+		}
+	} else if n < 0 {
+		panic("lsm: version refcount underflow")
+	}
+}
+
+// clone produces a mutable copy whose files are re-referenced.
+func (v *version) clone() *version {
+	nv := newVersion()
+	for l := range v.levels {
+		nv.levels[l] = append([]*fileMeta(nil), v.levels[l]...)
+		for _, f := range nv.levels[l] {
+			f.ref()
+		}
+	}
+	return nv
+}
+
+// sortLevel restores the level invariant: L0 newest-file-first, deeper
+// levels ascending by smallest key.
+func (v *version) sortLevel(l int) {
+	if l == 0 {
+		sort.Slice(v.levels[0], func(i, j int) bool {
+			return v.levels[0][i].num > v.levels[0][j].num
+		})
+		return
+	}
+	sort.Slice(v.levels[l], func(i, j int) bool {
+		return bytes.Compare(v.levels[l][i].smallest, v.levels[l][j].smallest) < 0
+	})
+}
+
+// get looks key up through the levels, newest data first.
+func (v *version) get(key []byte) (value []byte, kind entryKind, found bool, err error) {
+	// L0: files may overlap; probe newest-first.
+	for _, f := range v.levels[0] {
+		if !f.overlaps(key, key) {
+			continue
+		}
+		value, kind, found, err = f.reader.get(key)
+		if err != nil || found {
+			return value, kind, found, err
+		}
+	}
+	// Deeper levels: at most one candidate file per level.
+	for l := 1; l < numLevels; l++ {
+		files := v.levels[l]
+		i := sort.Search(len(files), func(i int) bool {
+			return bytes.Compare(files[i].largest, key) >= 0
+		})
+		if i >= len(files) || bytes.Compare(files[i].smallest, key) > 0 {
+			continue
+		}
+		value, kind, found, err = files[i].reader.get(key)
+		if err != nil || found {
+			return value, kind, found, err
+		}
+	}
+	return nil, 0, false, nil
+}
+
+// levelBytes returns the total size of tables in level l.
+func (v *version) levelBytes(l int) uint64 {
+	var n uint64
+	for _, f := range v.levels[l] {
+		n += f.size
+	}
+	return n
+}
+
+// overlapping returns the files in level l intersecting [start, end].
+func (v *version) overlapping(l int, start, end []byte) []*fileMeta {
+	var out []*fileMeta
+	for _, f := range v.levels[l] {
+		if f.overlaps(start, end) {
+			out = append(out, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package lsm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// The write-ahead log makes batched writes durable before they are applied
+// to the memtable. One log file corresponds to one memtable generation; it
+// is deleted after the memtable has been flushed to an SSTable and the
+// manifest records the new table.
+//
+// Record framing:
+//
+//	uint32 little-endian payload length
+//	uint32 little-endian CRC-32C of the payload
+//	payload
+//
+// The payload is a batch: varint op count, then for each op a kind byte
+// (kindPut/kindDelete), varint key length, key bytes, and for puts a
+// varint value length plus value bytes. Torn tails (partial records from a
+// crash mid-write) are detected by length/CRC mismatch and discarded, which
+// is correct because a torn record was never acknowledged as durable.
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorrupt reports a malformed WAL or SSTable structure.
+var errCorrupt = errors.New("lsm: corrupt file")
+
+// walWriter appends framed records to a log file.
+type walWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func newWALWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: open wal: %w", err)
+	}
+	return &walWriter{f: f}, nil
+}
+
+// append writes one record, syncing the file when sync is true.
+func (w *walWriter) append(payload []byte, sync bool) error {
+	w.buf = w.buf[:0]
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	w.buf = append(w.buf, hdr[:]...)
+	w.buf = append(w.buf, payload...)
+	if _, err := w.f.Write(w.buf); err != nil {
+		return fmt.Errorf("lsm: wal write: %w", err)
+	}
+	if sync {
+		if err := w.f.Sync(); err != nil {
+			return fmt.Errorf("lsm: wal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (w *walWriter) close() error {
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// replayWAL reads records from path in order, calling apply for each
+// decoded batch. It tolerates (and stops at) a torn final record.
+func replayWAL(path string, apply func(ops []walOp) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // clean end or torn header: stop
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n > 1<<30 {
+			return nil // implausible length: treat as torn tail
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				return nil // torn payload
+			}
+			return err
+		}
+		if crc32.Checksum(payload, crcTable) != want {
+			return nil // corrupt tail; everything durable precedes it
+		}
+		ops, err := decodeBatchPayload(payload)
+		if err != nil {
+			return err
+		}
+		if err := apply(ops); err != nil {
+			return err
+		}
+	}
+}
+
+// walOp is one decoded WAL operation.
+type walOp struct {
+	kind  entryKind
+	key   []byte
+	value []byte
+}
+
+// encodeBatchPayload serializes ops into buf (reused across calls).
+func encodeBatchPayload(buf []byte, ops []walOp) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(ops)))
+	for _, op := range ops {
+		buf = append(buf, byte(op.kind))
+		buf = binary.AppendUvarint(buf, uint64(len(op.key)))
+		buf = append(buf, op.key...)
+		if op.kind == kindPut {
+			buf = binary.AppendUvarint(buf, uint64(len(op.value)))
+			buf = append(buf, op.value...)
+		}
+	}
+	return buf
+}
+
+func decodeBatchPayload(p []byte) ([]walOp, error) {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return nil, errCorrupt
+	}
+	p = p[n:]
+	ops := make([]walOp, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 1 {
+			return nil, errCorrupt
+		}
+		kind := entryKind(p[0])
+		p = p[1:]
+		if kind != kindPut && kind != kindDelete {
+			return nil, errCorrupt
+		}
+		klen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < klen {
+			return nil, errCorrupt
+		}
+		key := p[n : n+int(klen)]
+		p = p[n+int(klen):]
+		var val []byte
+		if kind == kindPut {
+			vlen, n := binary.Uvarint(p)
+			if n <= 0 || uint64(len(p)-n) < vlen {
+				return nil, errCorrupt
+			}
+			val = p[n : n+int(vlen)]
+			p = p[n+int(vlen):]
+		}
+		ops = append(ops, walOp{kind: kind, key: key, value: val})
+	}
+	if len(p) != 0 {
+		return nil, errCorrupt
+	}
+	return ops, nil
+}

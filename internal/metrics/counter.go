@@ -1,0 +1,70 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+// The zero value is ready to use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta (which may be negative for corrections, although counters
+// are conventionally monotone).
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.v.Swap(0) }
+
+// Meter measures the rate of events over a wall-clock interval:
+// call Start, Inc/Add during the run, then Rate or Stop.
+type Meter struct {
+	count   Counter
+	started time.Time
+	stopped time.Time
+}
+
+// Start begins (or restarts) the measurement interval.
+func (m *Meter) Start() {
+	m.count.Reset()
+	m.started = time.Now()
+	m.stopped = time.Time{}
+}
+
+// Inc records one event.
+func (m *Meter) Inc() { m.count.Inc() }
+
+// Add records delta events.
+func (m *Meter) Add(delta int64) { m.count.Add(delta) }
+
+// Count returns the number of events recorded so far.
+func (m *Meter) Count() int64 { return m.count.Load() }
+
+// Stop freezes the interval end used by Rate.
+func (m *Meter) Stop() { m.stopped = time.Now() }
+
+// Elapsed returns the measured interval length.
+func (m *Meter) Elapsed() time.Duration {
+	end := m.stopped
+	if end.IsZero() {
+		end = time.Now()
+	}
+	return end.Sub(m.started)
+}
+
+// Rate returns events per second over the measured interval.
+func (m *Meter) Rate() float64 {
+	e := m.Elapsed().Seconds()
+	if e <= 0 {
+		return 0
+	}
+	return float64(m.count.Load()) / e
+}

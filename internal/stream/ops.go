@@ -1,0 +1,175 @@
+package stream
+
+import (
+	"fmt"
+
+	"sistream/internal/txn"
+)
+
+// Map transforms data tuples one-to-one; punctuations pass through.
+func (s *Stream) Map(name string, fn func(Tuple) Tuple) *Stream {
+	out := s.t.newStream()
+	s.t.spawn(name, func() {
+		defer close(out.ch)
+		for e := range s.ch {
+			if e.Kind == KindData {
+				e.Tuple = fn(e.Tuple)
+			}
+			out.ch <- e
+		}
+	})
+	return out
+}
+
+// Filter drops data tuples failing pred; punctuations pass through.
+func (s *Stream) Filter(name string, pred func(Tuple) bool) *Stream {
+	out := s.t.newStream()
+	s.t.spawn(name, func() {
+		defer close(out.ch)
+		for e := range s.ch {
+			if e.Kind == KindData && !pred(e.Tuple) {
+				continue
+			}
+			out.ch <- e
+		}
+	})
+	return out
+}
+
+// FlatMap maps one tuple to zero or more; punctuations pass through.
+func (s *Stream) FlatMap(name string, fn func(Tuple, func(Tuple))) *Stream {
+	out := s.t.newStream()
+	s.t.spawn(name, func() {
+		defer close(out.ch)
+		for e := range s.ch {
+			if e.Kind != KindData {
+				out.ch <- e
+				continue
+			}
+			fn(e.Tuple, func(t Tuple) {
+				out.ch <- Element{Kind: KindData, Tuple: t, Tx: e.Tx}
+			})
+		}
+	})
+	return out
+}
+
+// Punctuate inserts transaction boundary punctuations around groups of n
+// data tuples — the data-centric "auto-commit every n elements" policy.
+// Pre-existing punctuations in the input pass through and reset the
+// counter, so explicit boundaries win over the automatic ones.
+func (s *Stream) Punctuate(n int) *Stream {
+	if n <= 0 {
+		panic("stream: Punctuate needs n >= 1")
+	}
+	out := s.t.newStream()
+	s.t.spawn("punctuate", func() {
+		defer close(out.ch)
+		// explicit: inside a transaction delimited by punctuations already
+		// present in the input — those are passed through untouched.
+		// auto: inside a transaction this operator opened itself.
+		var explicit, auto bool
+		count := 0
+		for e := range s.ch {
+			switch e.Kind {
+			case KindData:
+				if explicit {
+					out.ch <- e
+					break
+				}
+				if !auto {
+					out.ch <- Punctuation(KindBOT)
+					auto = true
+					count = 0
+				}
+				out.ch <- e
+				count++
+				if count >= n {
+					out.ch <- Punctuation(KindCommit)
+					auto = false
+				}
+			case KindBOT:
+				if auto {
+					// Close the automatic batch before the explicit one.
+					out.ch <- Punctuation(KindCommit)
+					auto = false
+				}
+				explicit = true
+				out.ch <- e
+			case KindCommit, KindRollback:
+				explicit = false
+				out.ch <- e
+			default:
+				out.ch <- e
+			}
+		}
+		if auto {
+			out.ch <- Punctuation(KindCommit)
+		}
+	})
+	return out
+}
+
+// Transactions interprets punctuations against protocol p: BOT begins a
+// transaction whose handle is attached to every element up to the next
+// COMMIT/ROLLBACK. Downstream stateful operators (ToTable) use the
+// attached handle, so all states written by this query share one
+// transaction — the precondition of the consistency protocol.
+//
+// tables lists the states the query maintains (each downstream ToTable
+// target). They are declared on every transaction at Begin so the
+// consistency protocol knows the full state list upfront and the LAST
+// TO_TABLE operator in the pipeline becomes the commit coordinator; with
+// a single ToTable the list may be empty.
+//
+// If Begin fails the error is recorded and the affected batch is dropped.
+func (s *Stream) Transactions(p txn.Protocol, tables ...*txn.Table) *Stream {
+	out := s.t.newStream()
+	s.t.spawn("transactions", func() {
+		defer close(out.ch)
+		var cur, prev *txn.Txn
+		for e := range s.ch {
+			switch e.Kind {
+			case KindBOT:
+				// Serialize the query's transactions: batch N+1 begins
+				// only after batch N is decided downstream. Without this,
+				// pipelined batches writing the same hot keys would be
+				// concurrent transactions and abort each other under the
+				// First-Committer-Wins rule (or self-deadlock under
+				// S2PL) even though the query has a single writer.
+				if prev != nil {
+					<-prev.Done()
+					prev = nil
+				}
+				tx, err := p.Begin()
+				if err != nil {
+					s.t.fail("transactions", fmt.Errorf("begin: %w", err))
+					cur = nil
+					continue
+				}
+				if err := tx.Declare(tables...); err != nil {
+					s.t.fail("transactions", fmt.Errorf("declare: %w", err))
+					_ = p.Abort(tx)
+					cur = nil
+					continue
+				}
+				cur = tx
+				e.Tx = cur
+				out.ch <- e
+			case KindCommit, KindRollback:
+				e.Tx = cur
+				prev = cur
+				cur = nil
+				out.ch <- e
+			default:
+				e.Tx = cur
+				out.ch <- e
+			}
+		}
+		// Input ended mid-transaction: roll the dangling transaction back.
+		if cur != nil {
+			_ = p.Abort(cur)
+		}
+	})
+	return out
+}

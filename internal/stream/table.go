@@ -1,0 +1,265 @@
+package stream
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sistream/internal/txn"
+)
+
+// ToTableStats counts the outcomes of a ToTable operator.
+type ToTableStats struct {
+	// Writes is the number of applied tuple writes (including deletes).
+	Writes atomic.Int64
+	// Commits counts CommitState calls that succeeded.
+	Commits atomic.Int64
+	// Aborts counts transactions lost to conflicts or explicit rollback.
+	Aborts atomic.Int64
+}
+
+// ToTable is the paper's TO_TABLE linking operator: it applies data
+// tuples to tbl inside the transaction attached to the elements
+// (inserted/updated when Tuple.Delete is false, deleted otherwise) and
+// drives the consistency protocol on punctuations — CommitState on
+// COMMIT, Abort on ROLLBACK. Elements pass through so further ToTable
+// operators can maintain additional states within the same transaction.
+//
+// A conflict abort from the protocol (e.g. First-Committer-Wins) poisons
+// the rest of the batch: remaining writes up to the next BOT are skipped
+// and counted into stats.Aborts. The returned stats object is live.
+func (s *Stream) ToTable(p txn.Protocol, tbl *txn.Table) (*Stream, *ToTableStats) {
+	out := s.t.newStream()
+	stats := &ToTableStats{}
+	name := "to_table/" + string(tbl.ID())
+	s.t.spawn(name, func() {
+		defer close(out.ch)
+		poisoned := false
+		for e := range s.ch {
+			switch e.Kind {
+			case KindBOT:
+				poisoned = false
+			case KindData:
+				if e.Tx == nil || poisoned || e.Tuple.Key == "" {
+					break
+				}
+				var err error
+				if e.Tuple.Delete {
+					err = p.Delete(e.Tx, tbl, e.Tuple.Key)
+				} else {
+					err = p.Write(e.Tx, tbl, e.Tuple.Key, e.Tuple.Value)
+				}
+				if err != nil {
+					if txn.IsAbort(err) || err == txn.ErrFinished {
+						poisoned = true
+						stats.Aborts.Add(1)
+					} else {
+						s.t.fail(name, err)
+						poisoned = true
+					}
+					break
+				}
+				stats.Writes.Add(1)
+			case KindCommit:
+				if e.Tx == nil {
+					break
+				}
+				if poisoned {
+					// Someone (possibly this operator) already gave up on
+					// the transaction; make the abort global.
+					if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
+						s.t.fail(name, err)
+					}
+					break
+				}
+				if err := p.CommitState(e.Tx, tbl); err != nil {
+					if txn.IsAbort(err) || err == txn.ErrFinished {
+						stats.Aborts.Add(1)
+					} else {
+						s.t.fail(name, err)
+					}
+					break
+				}
+				stats.Commits.Add(1)
+			case KindRollback:
+				if e.Tx != nil {
+					if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
+						s.t.fail(name, err)
+					}
+					stats.Aborts.Add(1)
+				}
+			}
+			out.ch <- e
+		}
+	})
+	return out, stats
+}
+
+// TableChange is one committed row change delivered by ToStream.
+type TableChange struct {
+	// CTS is the commit timestamp of the transaction.
+	CTS txn.Timestamp
+	// State is the table the change belongs to.
+	State txn.StateID
+	// Key is the written (or deleted) row key.
+	Key string
+	// Value is the row value as of CTS; nil when the row was deleted.
+	Value []byte
+	// Deleted reports whether the change removed the row.
+	Deleted bool
+}
+
+// ToStream is the paper's TO_STREAM linking operator with the per-commit
+// trigger policy: it subscribes to group commits and emits one data
+// element per changed row of tbl, in commit order. The element's Key is
+// the row key, Value/Num are the committed value (Num parsed when the
+// value is a decimal), Ts is the commit timestamp. The stream closes when
+// stop is called.
+//
+// The feed buffers up to feedBuf commits; if a slow consumer falls that
+// far behind, the committing thread blocks (backpressure) — a deliberate
+// choice over silently dropping committed changes.
+func ToStream(t *Topology, tbl *txn.Table, p txn.Protocol) (*Stream, func()) {
+	const feedBuf = 4096
+	type commitEvent struct {
+		cts  txn.Timestamp
+		keys []string
+	}
+	feed := make(chan commitEvent, feedBuf)
+	stopCh := make(chan struct{})
+	g := tbl.Group()
+	if g == nil {
+		panic(fmt.Sprintf("stream: table %q is not in a group", tbl.ID()))
+	}
+	g.Watch(func(cts txn.Timestamp, writes map[txn.StateID][]string) {
+		keys, ok := writes[tbl.ID()]
+		if !ok {
+			return
+		}
+		select {
+		case <-stopCh:
+		case feed <- commitEvent{cts: cts, keys: keys}:
+		}
+	})
+
+	out := t.newStream()
+	// emit reads each changed row at the commit's own snapshot so the
+	// emitted value is exactly what that transaction installed, even if
+	// later commits already overwrote it.
+	emit := func(ev commitEvent) {
+		for _, key := range ev.keys {
+			v, ok := tbl.ReadAt(key, ev.cts)
+			tuple := Tuple{Key: key, Ts: int64(ev.cts), Delete: !ok}
+			if ok {
+				tuple.Value = append([]byte(nil), v...)
+				var n float64
+				if _, err := fmt.Sscanf(string(v), "%g", &n); err == nil {
+					tuple.Num = n
+				}
+			}
+			out.ch <- Element{Kind: KindData, Tuple: tuple}
+		}
+	}
+	t.spawn("to_stream/"+string(tbl.ID()), func() {
+		defer close(out.ch)
+		<-t.start
+		for {
+			select {
+			case <-stopCh:
+				// Drain commits already queued so a consumer that stops
+				// the feed after its writers finished still sees every
+				// committed change.
+				for {
+					select {
+					case ev := <-feed:
+						emit(ev)
+					default:
+						return
+					}
+				}
+			case ev := <-feed:
+				emit(ev)
+			}
+		}
+	})
+	return out, func() { close(stopCh) }
+}
+
+// KV is one row of a snapshot query result.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// TableSnapshot is the paper's ad-hoc FROM(table) operator: it runs a
+// read-only transaction and materializes every visible row of tbl under
+// one consistent snapshot. Under BOCC the query may abort (validation);
+// callers retry.
+func TableSnapshot(p txn.Protocol, tbl *txn.Table) ([]KV, error) {
+	tx, err := p.BeginReadOnly()
+	if err != nil {
+		return nil, err
+	}
+	var rows []KV
+	var scanErr error
+	// Route through the protocol's Read for every key so protocol
+	// semantics (locks, read sets) hold; keys are discovered via the
+	// version store.
+	seen := map[string]bool{}
+	tbl.SnapshotScan(^txn.Timestamp(0), func(key string, _ []byte) bool {
+		seen[key] = true
+		return true
+	})
+	for key := range seen {
+		v, ok, err := p.Read(tx, tbl, key)
+		if err != nil {
+			scanErr = err
+			break
+		}
+		if ok {
+			rows = append(rows, KV{Key: key, Value: append([]byte(nil), v...)})
+		}
+	}
+	if scanErr != nil {
+		_ = p.Abort(tx)
+		return nil, scanErr
+	}
+	if err := p.Commit(tx); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// QueryKeys reads the given keys of one or more tables under a single
+// read-only transaction — the ad-hoc query shape of the paper's
+// benchmark (N point reads per query). Results align with keys; a nil
+// value means the key was not visible. The error may be an abort
+// (ErrAborted family) under S2PL/BOCC; callers count and retry.
+func QueryKeys(p txn.Protocol, reads []TableKey) ([][]byte, error) {
+	tx, err := p.BeginReadOnly()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(reads))
+	for i, r := range reads {
+		v, ok, err := p.Read(tx, r.Table, r.Key)
+		if err != nil {
+			if !txn.IsAbort(err) {
+				_ = p.Abort(tx)
+			}
+			return nil, err
+		}
+		if ok {
+			out[i] = v
+		}
+	}
+	if err := p.Commit(tx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TableKey addresses one read of QueryKeys.
+type TableKey struct {
+	Table *txn.Table
+	Key   string
+}

@@ -1,0 +1,254 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+)
+
+// chanBuf is the per-edge channel buffer; small enough for backpressure,
+// large enough to decouple operator scheduling.
+const chanBuf = 256
+
+// Topology is a dataflow graph under construction and, after Start, in
+// execution. Operators are goroutines; edges are channels of Elements.
+// Build the graph with Source and the Stream methods, then call Start
+// and Wait. The first operator error aborts bookkeeping and is returned
+// by Wait.
+type Topology struct {
+	name  string
+	start chan struct{}
+	wg    sync.WaitGroup
+
+	mu      sync.Mutex
+	errs    []error
+	started bool
+}
+
+// New creates an empty topology.
+func New(name string) *Topology {
+	return &Topology{name: name, start: make(chan struct{})}
+}
+
+// Name returns the topology's name.
+func (t *Topology) Name() string { return t.name }
+
+// fail records an operator error.
+func (t *Topology) fail(op string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.errs = append(t.errs, fmt.Errorf("%s/%s: %w", t.name, op, err))
+}
+
+// Start releases the sources. Idempotent.
+func (t *Topology) Start() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.started = true
+		close(t.start)
+	}
+}
+
+// Wait blocks until every operator has finished (sources exhausted and
+// channels drained) and returns the first recorded error.
+func (t *Topology) Wait() error {
+	t.wg.Wait()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.errs) > 0 {
+		return t.errs[0]
+	}
+	return nil
+}
+
+// Run is Start followed by Wait.
+func (t *Topology) Run() error {
+	t.Start()
+	return t.Wait()
+}
+
+// Stream is one dataflow edge: the output of an operator, consumable by
+// exactly one downstream operator (use Hub or Split for fan-out).
+type Stream struct {
+	t  *Topology
+	ch chan Element
+}
+
+func (t *Topology) newStream() *Stream {
+	return &Stream{t: t, ch: make(chan Element, chanBuf)}
+}
+
+// spawn registers and launches one operator goroutine.
+func (t *Topology) spawn(op string, body func()) {
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		body()
+	}()
+	_ = op
+}
+
+// Source creates a stream fed by gen, which emits elements until it
+// returns (nil for exhausted input, or an error). Generation begins when
+// the topology starts.
+func (t *Topology) Source(name string, gen func(emit func(Element)) error) *Stream {
+	out := t.newStream()
+	t.spawn(name, func() {
+		defer close(out.ch)
+		<-t.start
+		if err := gen(func(e Element) { out.ch <- e }); err != nil {
+			t.fail(name, err)
+		}
+	})
+	return out
+}
+
+// SliceSource emits the given tuples as data elements (testing and
+// examples convenience).
+func (t *Topology) SliceSource(name string, tuples []Tuple) *Stream {
+	return t.Source(name, func(emit func(Element)) error {
+		for _, tp := range tuples {
+			emit(DataElement(tp))
+		}
+		return nil
+	})
+}
+
+// Sink consumes the stream, calling fn for every element.
+func (s *Stream) Sink(name string, fn func(Element)) {
+	s.t.spawn(name, func() {
+		for e := range s.ch {
+			fn(e)
+		}
+	})
+}
+
+// Collect consumes the stream into a slice delivered on the returned
+// channel when the stream closes (testing convenience).
+func (s *Stream) Collect() <-chan []Element {
+	out := make(chan []Element, 1)
+	s.t.spawn("collect", func() {
+		var all []Element
+		for e := range s.ch {
+			all = append(all, e)
+		}
+		out <- all
+	})
+	return out
+}
+
+// Discard consumes and drops the stream (when only the operator's side
+// effects matter, e.g. after ToTable).
+func (s *Stream) Discard() {
+	s.t.spawn("discard", func() {
+		for range s.ch {
+		}
+	})
+}
+
+// Merge fans several streams into one; element order across inputs is
+// arbitrary, order within an input is preserved.
+func Merge(name string, streams ...*Stream) *Stream {
+	if len(streams) == 0 {
+		panic("stream: Merge needs at least one input")
+	}
+	t := streams[0].t
+	out := t.newStream()
+	var wg sync.WaitGroup
+	for _, in := range streams {
+		wg.Add(1)
+		t.spawn(name, func() {
+			defer wg.Done()
+			for e := range in.ch {
+				out.ch <- e
+			}
+		})
+	}
+	t.spawn(name+"/closer", func() {
+		wg.Wait()
+		close(out.ch)
+	})
+	return out
+}
+
+// Split duplicates the stream into n independent output streams, each
+// receiving every element (punctuations included). The transaction
+// handle is shared — that is what lets several TO_TABLE operators join
+// the same transaction.
+func (s *Stream) Split(n int) []*Stream {
+	outs := make([]*Stream, n)
+	for i := range outs {
+		outs[i] = s.t.newStream()
+	}
+	s.t.spawn("split", func() {
+		defer func() {
+			for _, o := range outs {
+				close(o.ch)
+			}
+		}()
+		for e := range s.ch {
+			for _, o := range outs {
+				o.ch <- e
+			}
+		}
+	})
+	return outs
+}
+
+// Hub turns the stream into an attach-point implementing the paper's
+// FROM(stream) semantics: subscribers receive all elements from their
+// point of attachment onward. Elements arriving while no subscriber is
+// attached are dropped (a stream is volatile).
+type Hub struct {
+	t    *Topology
+	mu   sync.Mutex
+	subs map[int]*Stream
+	next int
+	done bool
+}
+
+// Hub consumes the stream and returns the attach-point.
+func (s *Stream) Hub() *Hub {
+	h := &Hub{t: s.t, subs: make(map[int]*Stream)}
+	s.t.spawn("hub", func() {
+		for e := range s.ch {
+			h.mu.Lock()
+			for _, sub := range h.subs {
+				sub.ch <- e
+			}
+			h.mu.Unlock()
+		}
+		h.mu.Lock()
+		h.done = true
+		for id, sub := range h.subs {
+			close(sub.ch)
+			delete(h.subs, id)
+		}
+		h.mu.Unlock()
+	})
+	return h
+}
+
+// Attach subscribes from this point on (FROM(stream)). The returned
+// stream closes when the hub's input closes or Detach is called.
+func (h *Hub) Attach() (*Stream, func()) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	sub := h.t.newStream()
+	if h.done {
+		close(sub.ch)
+		return sub, func() {}
+	}
+	id := h.next
+	h.next++
+	h.subs[id] = sub
+	detach := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if s, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+	}
+	return sub, detach
+}

@@ -1,0 +1,345 @@
+package txn
+
+import (
+	"fmt"
+	"sort"
+
+	"sistream/internal/kv"
+)
+
+// This file implements the consistency protocol of the paper's
+// Section 4.3 — the lightweight 2-phase-commit variant coordinating
+// commits across the multiple states of a topology group — together with
+// the commit machinery shared by all three concurrency-control protocols
+// ("All concurrency control protocols use fundamentally the same
+// consistency protocol", Section 5).
+//
+// Protocol recap: every operator maintaining a state flags its
+// (transaction, state) pair with StatusCommit when its part of the
+// transaction is done. The caller that flips the LAST flag becomes the
+// coordinator and performs the global commit: installing all versions,
+// persisting one batch per base store, and finally publishing the
+// group's LastCTS in a single atomic store — the instant the whole
+// multi-state commit becomes visible. One StatusAbort flag anywhere
+// aborts the transaction globally.
+
+// Protocol is the common interface of the three concurrency-control
+// protocols. All methods returning an error may return an ErrAborted
+// variant, after which the transaction is finished and the caller decides
+// whether to retry with a fresh Begin.
+type Protocol interface {
+	// Name identifies the protocol in benchmark reports: "mvcc",
+	// "s2pl" or "bocc".
+	Name() string
+	// Begin starts a read-write transaction.
+	Begin() (*Txn, error)
+	// BeginReadOnly starts a read-only transaction (ad-hoc queries).
+	BeginReadOnly() (*Txn, error)
+	// Read returns the value of key in tbl visible to tx.
+	Read(tx *Txn, tbl *Table, key string) ([]byte, bool, error)
+	// Write buffers an update of key in tbl into tx's write set.
+	Write(tx *Txn, tbl *Table, key string, value []byte) error
+	// Delete buffers a deletion of key in tbl.
+	Delete(tx *Txn, tbl *Table, key string) error
+	// CommitState flags tbl as ready to commit for tx; when it is the
+	// last accessed state, the caller executes the global commit
+	// (consistency protocol, Section 4.3).
+	CommitState(tx *Txn, tbl *Table) error
+	// Commit flags all states and executes the global commit.
+	Commit(tx *Txn) error
+	// Abort aborts tx globally, dropping all uncommitted writes.
+	Abort(tx *Txn) error
+	// Context returns the state context the protocol operates on.
+	Context() *Context
+}
+
+// protocolBase carries the machinery shared by the three protocols.
+type protocolBase struct {
+	ctx *Context
+}
+
+// Context returns the protocol's state context.
+func (p *protocolBase) Context() *Context { return p.ctx }
+
+func (p *protocolBase) begin(readOnly bool) (*Txn, error) {
+	t := &Txn{
+		id:       p.ctx.next(),
+		ctx:      p.ctx,
+		readOnly: readOnly,
+		states:   make(map[StateID]*stateEntry),
+		readCTS:  make(map[GroupID]Timestamp),
+		done:     make(chan struct{}),
+	}
+	t.startTS = t.id
+	if err := p.ctx.register(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// requireGroup validates that tbl is usable transactionally.
+func requireGroup(tbl *Table) error {
+	if tbl.group == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownState, tbl.id)
+	}
+	return nil
+}
+
+// bufferWrite records a write into tx's uncommitted write set. Writes
+// "are merely appended to the write set" and never block (Section 4.2).
+func bufferWrite(tx *Txn, tbl *Table, key string, op writeOp) error {
+	if tx.readOnly {
+		return fmt.Errorf("txn: write in read-only transaction %d", tx.id)
+	}
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.finished.Load() {
+		return ErrFinished
+	}
+	tx.entry(tbl).write(key, op)
+	return nil
+}
+
+// commitState implements the per-state flag protocol. finishFn runs the
+// protocol-specific global commit when this call flipped the last flag.
+func commitState(tx *Txn, tbl *Table, finishFn func() error) error {
+	tx.mu.Lock()
+	if tx.finished.Load() {
+		tx.mu.Unlock()
+		return ErrFinished
+	}
+	e, ok := tx.states[tbl.id]
+	if !ok {
+		// Committing a state the transaction never touched: register an
+		// empty entry so the accounting still works (a TO_TABLE operator
+		// may see only punctuations for some batch).
+		e = tx.entry(tbl)
+	}
+	if e.status == StatusAbort {
+		tx.mu.Unlock()
+		return ErrAborted
+	}
+	e.status = StatusCommit
+	for _, other := range tx.states {
+		if other.status != StatusCommit {
+			// Not the last flag: another operator will coordinate.
+			tx.mu.Unlock()
+			return nil
+		}
+	}
+	// This caller flipped the last flag: it becomes the coordinator
+	// (Section 4.3) and must perform the global commit.
+	tx.mu.Unlock()
+	return finishFn()
+}
+
+// commitAll flags every touched state and runs the global commit.
+func commitAll(tx *Txn, finishFn func() error) error {
+	tx.mu.Lock()
+	if tx.finished.Load() {
+		tx.mu.Unlock()
+		return ErrFinished
+	}
+	for _, e := range tx.states {
+		if e.status == StatusAbort {
+			tx.mu.Unlock()
+			return ErrAborted
+		}
+		e.status = StatusCommit
+	}
+	tx.mu.Unlock()
+	return finishFn()
+}
+
+// finish releases the transaction's slot exactly once.
+func (p *protocolBase) finish(tx *Txn) {
+	tx.mu.Lock()
+	already := tx.finished.Swap(true)
+	tx.mu.Unlock()
+	if !already {
+		close(tx.done)
+		p.ctx.unregister(tx)
+	}
+}
+
+// abort drops all write sets and releases the slot. "It is enough ... to
+// simply clear the corresponding write set and release the memory"
+// (Section 4.2).
+func (p *protocolBase) abort(tx *Txn) error {
+	tx.mu.Lock()
+	if tx.finished.Swap(true) {
+		tx.mu.Unlock()
+		return ErrFinished
+	}
+	for _, e := range tx.states {
+		e.status = StatusAbort
+		e.writes = nil
+		e.order = nil
+	}
+	tx.mu.Unlock()
+	close(tx.done)
+	p.ctx.unregister(tx)
+	return nil
+}
+
+// txGroups returns the distinct groups of the transaction's states.
+func txGroups(tx *Txn) []*Group {
+	seen := map[GroupID]*Group{}
+	for _, e := range tx.states {
+		g := e.table.group
+		seen[g.id] = g
+	}
+	out := make([]*Group, 0, len(seen))
+	for _, g := range seen {
+		out = append(out, g)
+	}
+	return out
+}
+
+// sortedEntries returns the transaction's state entries in StateID order
+// for deterministic install and batch layout.
+func sortedEntries(tx *Txn) []*stateEntry {
+	out := make([]*stateEntry, 0, len(tx.states))
+	for _, e := range tx.states {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].table.id < out[j].table.id })
+	return out
+}
+
+// installCommit is the coordinator's global commit, shared by all
+// protocols. It runs under the commit latches of every involved group:
+//
+//  1. admit: the protocol-specific admission check (First-Committer-Wins
+//     for SI, backward validation for BOCC, nothing for S2PL). Returning
+//     an error aborts with no state modified.
+//  2. draw the commit timestamp and persist one batch per base store —
+//     rows plus the LastCTS watermark — synchronously when any table
+//     demands it (failure atomicity). A failed store aborts cleanly: no
+//     in-memory state has changed yet.
+//  3. install all versions in memory (cannot fail: version arrays grow
+//     on demand and commits per group are serialized by the latch).
+//  4. publish LastCTS on every involved group: the single atomic store
+//     that makes the transaction visible, completely or not at all.
+//
+// The caller (via commitState/commitAll) has already established that it
+// is the coordinator.
+func (p *protocolBase) installCommit(tx *Txn, admit func() error) error {
+	groups := txGroups(tx)
+	if len(groups) == 0 {
+		// Nothing written (read-only or empty transaction).
+		p.finish(tx)
+		return nil
+	}
+	lockGroups(groups)
+	defer unlockGroups(groups)
+
+	if admit != nil {
+		if err := admit(); err != nil {
+			p.abortLocked(tx)
+			return err
+		}
+	}
+
+	entries := sortedEntries(tx)
+	horizon := p.ctx.OldestActiveVersion()
+
+	cts := p.ctx.next()
+
+	// Phase 2: durability, one batch per distinct base store. Durability
+	// precedes the in-memory install so a failed store leaves no memory
+	// state behind: the transaction aborts as if it never happened.
+	type storeBatch struct {
+		store kv.Store
+		batch *kv.Batch
+		sync  bool
+	}
+	var batches []*storeBatch
+	byStore := map[kv.Store]*storeBatch{}
+	for _, e := range entries {
+		sb, ok := byStore[e.table.store]
+		if !ok {
+			sb = &storeBatch{store: e.table.store, batch: kv.NewBatch(len(e.order) + 1)}
+			byStore[e.table.store] = sb
+			batches = append(batches, sb)
+		}
+		for _, key := range e.order {
+			op := e.writes[key]
+			if op.delete {
+				sb.batch.Delete(e.table.rowKey(key))
+			} else {
+				sb.batch.Put(e.table.rowKey(key), op.value)
+			}
+		}
+		sb.batch.Put(e.table.metaKey(), encodeTS(cts))
+		if e.table.opts.SyncCommits {
+			sb.sync = true
+		}
+	}
+	for _, sb := range batches {
+		if err := sb.store.Apply(sb.batch, sb.sync); err != nil {
+			// No version was installed yet, so aborting here is clean in
+			// memory. A store that failed after persisting part of the
+			// batch is reconciled at recovery via the per-store watermark
+			// (see CreateGroup).
+			p.abortLocked(tx)
+			return fmt.Errorf("txn: commit durability: %w", err)
+		}
+	}
+
+	// Phase 3: in-memory version install.
+	for _, e := range entries {
+		for _, key := range e.order {
+			op := e.writes[key]
+			if err := e.table.object(key, true).Install(cts, op.value, op.delete, horizon); err != nil {
+				panic(fmt.Sprintf("txn: install invariant violated: %v", err))
+			}
+		}
+	}
+
+	// Phase 4: atomic visibility.
+	for _, g := range groups {
+		g.lastCTS.Store(cts)
+	}
+
+	// Notify commit watchers (TO_STREAM per-commit triggers) with the
+	// per-state write sets, grouped by topology group.
+	for _, g := range groups {
+		var writes map[StateID][]string
+		for _, e := range entries {
+			if e.table.group != g || len(e.order) == 0 {
+				continue
+			}
+			if writes == nil {
+				writes = make(map[StateID][]string)
+			}
+			writes[e.table.id] = e.order
+		}
+		if writes != nil {
+			g.notify(cts, writes)
+		}
+	}
+	p.finish(tx)
+	return nil
+}
+
+// abortLocked marks the transaction aborted without needing group locks
+// released first (write sets are private, so dropping them is safe).
+func (p *protocolBase) abortLocked(tx *Txn) {
+	tx.mu.Lock()
+	if tx.finished.Swap(true) {
+		tx.mu.Unlock()
+		return
+	}
+	for _, e := range tx.states {
+		e.status = StatusAbort
+		e.writes = nil
+		e.order = nil
+	}
+	tx.mu.Unlock()
+	close(tx.done)
+	p.ctx.unregister(tx)
+}

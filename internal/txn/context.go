@@ -1,0 +1,271 @@
+package txn
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// maxActiveTxns bounds the active-transaction table. The paper manages
+// transaction slots with 64-bit CAS bit vectors; we keep that design and
+// use several words.
+const maxActiveTxns = 1024
+
+// Context is the global state context of the paper's Figure 3: the
+// registry of states and topology groups, the table of active
+// transactions, and the global atomic timestamp counter. Slot management
+// is latch-free (CAS on bit-vector words); the registry itself is
+// mutex-protected because tables and groups are created at setup time,
+// not on the transaction hot path.
+type Context struct {
+	counter atomic.Uint64 // global logical clock: txn IDs and commit timestamps
+
+	mu     sync.RWMutex
+	states map[StateID]*Table
+	groups map[GroupID]*Group
+
+	// Active transaction table: a fixed slot array managed by CAS bit
+	// vectors, scanned to derive OldestActiveVersion for GC.
+	slotWords [maxActiveTxns / 64]atomic.Uint64
+	slots     [maxActiveTxns]atomic.Pointer[Txn]
+
+	// recent is the BOCC history of committed write sets (see bocc.go).
+	recent recentCommits
+}
+
+// NewContext creates an empty state context.
+func NewContext() *Context {
+	return &Context{
+		states: make(map[StateID]*Table),
+		groups: make(map[GroupID]*Group),
+	}
+}
+
+// next returns the next logical timestamp.
+func (c *Context) next() Timestamp { return c.counter.Add(1) }
+
+// Now returns the current value of the logical clock without advancing it.
+func (c *Context) Now() Timestamp { return c.counter.Load() }
+
+// advanceTo raises the logical clock to at least ts (used by recovery so
+// new transactions sort after recovered commits).
+func (c *Context) advanceTo(ts Timestamp) {
+	for {
+		cur := c.counter.Load()
+		if cur >= ts || c.counter.CompareAndSwap(cur, ts) {
+			return
+		}
+	}
+}
+
+// register allocates a slot for t in the active-transaction table.
+func (c *Context) register(t *Txn) error {
+	for w := range c.slotWords {
+		for {
+			word := c.slotWords[w].Load()
+			free := ^word
+			if free == 0 {
+				break // word full, try next
+			}
+			bit := bits.TrailingZeros64(free)
+			if c.slotWords[w].CompareAndSwap(word, word|1<<uint(bit)) {
+				slot := w*64 + bit
+				t.slot = slot
+				c.slots[slot].Store(t)
+				return nil
+			}
+		}
+	}
+	return ErrTooManyTxns
+}
+
+// unregister frees t's slot.
+func (c *Context) unregister(t *Txn) {
+	slot := t.slot
+	c.slots[slot].Store(nil)
+	w, bit := slot/64, uint(slot%64)
+	for {
+		word := c.slotWords[w].Load()
+		if c.slotWords[w].CompareAndSwap(word, word&^(1<<bit)) {
+			return
+		}
+	}
+}
+
+// OldestActiveVersion returns the garbage-collection horizon: the minimum
+// snapshot any active transaction may still read. Versions whose deletion
+// timestamp is at or below it are invisible to everyone and reclaimable.
+// With no active readers the horizon is the current clock.
+func (c *Context) OldestActiveVersion() Timestamp {
+	oldest := c.counter.Load()
+	for w := range c.slotWords {
+		word := c.slotWords[w].Load()
+		for ; word != 0; word &= word - 1 {
+			slot := w*64 + bits.TrailingZeros64(word)
+			t := c.slots[slot].Load()
+			if t == nil {
+				continue // slot being released concurrently
+			}
+			if p := t.pinnedOldest.Load(); p != 0 && p < oldest {
+				oldest = p
+			}
+		}
+	}
+	return oldest
+}
+
+// ActiveCount returns the number of registered transactions (diagnostic).
+func (c *Context) ActiveCount() int {
+	n := 0
+	for w := range c.slotWords {
+		n += bits.OnesCount64(c.slotWords[w].Load())
+	}
+	return n
+}
+
+// group resolves a group by ID.
+func (c *Context) group(id GroupID) (*Group, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	g, ok := c.groups[id]
+	return g, ok
+}
+
+// Table returns the registered table named id.
+func (c *Context) Table(id StateID) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.states[id]
+	return t, ok
+}
+
+// Group is a topology group: the states written together by one
+// continuous query. LastCTS is the commit timestamp of the group's most
+// recent globally committed transaction — the single atomically published
+// word that makes a whole multi-state commit visible.
+type Group struct {
+	id     GroupID
+	ctx    *Context
+	tables []*Table
+	byID   map[StateID]bool
+
+	lastCTS atomic.Uint64
+
+	// commitMu is the short commit-time synchronization of the paper:
+	// version installation and the LastCTS publish happen under it, so
+	// commits of one group are serialized while readers stay lock-free.
+	commitMu sync.Mutex
+
+	// watchers are commit listeners (TO_STREAM trigger policy
+	// "per transaction commit"); they run synchronously right after
+	// LastCTS is published, still under the commit latch, so they must
+	// be fast and must not call back into the protocol.
+	watcherMu sync.RWMutex
+	watchers  []CommitWatcher
+}
+
+// CommitWatcher observes global commits of a group: the commit timestamp
+// and, per state, the keys written (deletes included). The slices are
+// shared; watchers must not modify them.
+type CommitWatcher func(cts Timestamp, writes map[StateID][]string)
+
+// Watch registers a commit listener. Listeners run on the committing
+// goroutine under the group's commit latch — the hook for TO_STREAM's
+// per-commit trigger policy (Section 3, "trigger policy ... to rely on
+// transaction commits").
+func (g *Group) Watch(w CommitWatcher) {
+	g.watcherMu.Lock()
+	defer g.watcherMu.Unlock()
+	g.watchers = append(g.watchers, w)
+}
+
+// notify invokes all watchers.
+func (g *Group) notify(cts Timestamp, writes map[StateID][]string) {
+	g.watcherMu.RLock()
+	ws := g.watchers
+	g.watcherMu.RUnlock()
+	for _, w := range ws {
+		w(cts, writes)
+	}
+}
+
+// ID returns the group identifier.
+func (g *Group) ID() GroupID { return g.id }
+
+// LastCTS returns the group's last globally committed timestamp.
+func (g *Group) LastCTS() Timestamp { return g.lastCTS.Load() }
+
+// Tables returns the member tables (do not modify).
+func (g *Group) Tables() []*Table { return g.tables }
+
+func (g *Group) contains(id StateID) bool { return g.byID[id] }
+
+// CreateGroup registers a topology group over the given tables, wiring
+// each table to the group and recovering persistent state: committed
+// rows are loaded back into the in-memory version store at the recovered
+// LastCTS, exactly reproducing the visibility they had before shutdown.
+// A table may belong to only one group (its writing query); additional
+// readers access it through the group of the query that owns it.
+func (c *Context) CreateGroup(id GroupID, tables ...*Table) (*Group, error) {
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("txn: group %q needs at least one table", id)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.groups[id]; dup {
+		return nil, fmt.Errorf("txn: group %q already exists", id)
+	}
+	g := &Group{id: id, ctx: c, byID: make(map[StateID]bool)}
+	for _, t := range tables {
+		if t.group != nil {
+			return nil, fmt.Errorf("txn: table %q already in group %q", t.id, t.group.id)
+		}
+	}
+	for _, t := range tables {
+		t.group = g
+		g.tables = append(g.tables, t)
+		g.byID[t.id] = true
+	}
+	c.groups[id] = g
+
+	// Recovery: LastCTS is persisted in each member's base store; the
+	// group's recovered timestamp is the maximum across members (a crash
+	// between per-store batches can leave laggards, see Table.metaKey).
+	var recovered Timestamp
+	for _, t := range tables {
+		ts, err := t.readMetaCTS()
+		if err != nil {
+			return nil, fmt.Errorf("txn: recover group %q: %w", id, err)
+		}
+		if ts > recovered {
+			recovered = ts
+		}
+	}
+	if recovered > 0 {
+		g.lastCTS.Store(recovered)
+		c.advanceTo(recovered)
+		for _, t := range tables {
+			if err := t.loadCommitted(recovered); err != nil {
+				return nil, fmt.Errorf("txn: load state %q: %w", t.id, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// lockGroups acquires the commit mutexes of all groups in a canonical
+// order (by ID) to keep cross-group commits deadlock-free.
+func lockGroups(groups []*Group) {
+	sort.Slice(groups, func(i, j int) bool { return groups[i].id < groups[j].id })
+	for _, g := range groups {
+		g.commitMu.Lock()
+	}
+}
+
+func unlockGroups(groups []*Group) {
+	for i := len(groups) - 1; i >= 0; i-- {
+		groups[i].commitMu.Unlock()
+	}
+}

@@ -1,0 +1,275 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sistream/internal/kv"
+)
+
+func TestRegistrySlots(t *testing.T) {
+	ctx := NewContext()
+	p := NewSI(ctx)
+	var txns []*Txn
+	for i := 0; i < 100; i++ {
+		tx, err := p.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		txns = append(txns, tx)
+	}
+	if ctx.ActiveCount() != 100 {
+		t.Fatalf("active = %d", ctx.ActiveCount())
+	}
+	for _, tx := range txns {
+		if err := p.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ctx.ActiveCount() != 0 {
+		t.Fatalf("active after commits = %d", ctx.ActiveCount())
+	}
+}
+
+func TestSlotExhaustion(t *testing.T) {
+	ctx := NewContext()
+	p := NewSI(ctx)
+	var txns []*Txn
+	for i := 0; i < maxActiveTxns; i++ {
+		tx, err := p.Begin()
+		if err != nil {
+			t.Fatalf("begin %d: %v", i, err)
+		}
+		txns = append(txns, tx)
+	}
+	if _, err := p.Begin(); err != ErrTooManyTxns {
+		t.Fatalf("expected ErrTooManyTxns, got %v", err)
+	}
+	// Freeing one slot re-enables Begin.
+	if err := p.Abort(txns[0]); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Abort(tx)
+	for _, old := range txns[1:] {
+		p.Abort(old)
+	}
+}
+
+func TestConcurrentSlotChurn(t *testing.T) {
+	ctx := NewContext()
+	p := NewSI(ctx)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tx, err := p.Begin()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := p.Commit(tx); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ctx.ActiveCount() != 0 {
+		t.Fatalf("slots leaked: %d", ctx.ActiveCount())
+	}
+}
+
+func TestOldestActiveVersionHorizon(t *testing.T) {
+	e := newEnv(t)
+	p := NewSI(e.ctx)
+	write(t, p, e.t1, "k", "v")
+
+	// With no active pins, horizon == clock.
+	if got, now := e.ctx.OldestActiveVersion(), e.ctx.Now(); got != now {
+		t.Fatalf("idle horizon %d != clock %d", got, now)
+	}
+
+	r, _ := p.BeginReadOnly()
+	if _, _, err := p.Read(r, e.t1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	pinned := r.readCTS[e.group.id]
+	write(t, p, e.t1, "k", "v2")
+	if got := e.ctx.OldestActiveVersion(); got != pinned {
+		t.Fatalf("horizon %d, want pinned %d", got, pinned)
+	}
+	mustCommit(t, p, r)
+	if got, now := e.ctx.OldestActiveVersion(), e.ctx.Now(); got != now {
+		t.Fatalf("horizon after release %d != clock %d", got, now)
+	}
+}
+
+func TestMonotonicClock(t *testing.T) {
+	ctx := NewContext()
+	var prev Timestamp
+	for i := 0; i < 1000; i++ {
+		ts := ctx.next()
+		if ts <= prev {
+			t.Fatalf("clock went backwards: %d after %d", ts, prev)
+		}
+		prev = ts
+	}
+	ctx.advanceTo(5000)
+	if ctx.Now() != 5000 {
+		t.Fatalf("advanceTo: %d", ctx.Now())
+	}
+	ctx.advanceTo(100) // never backwards
+	if ctx.Now() != 5000 {
+		t.Fatalf("advanceTo went backwards: %d", ctx.Now())
+	}
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	ctx := NewContext()
+	store := kv.NewMem()
+	defer store.Close()
+	tbl, err := ctx.CreateTable("t", store, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateTable("t", store, TableOptions{}); err == nil {
+		t.Fatal("duplicate table accepted")
+	}
+	if _, err := ctx.CreateGroup("g"); err == nil {
+		t.Fatal("empty group accepted")
+	}
+	if _, err := ctx.CreateGroup("g", tbl); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("g2", tbl); err == nil {
+		t.Fatal("table admitted to two groups")
+	}
+	if _, err := ctx.CreateGroup("g", tbl); err == nil {
+		t.Fatal("duplicate group accepted")
+	}
+	if got, ok := ctx.Table("t"); !ok || got != tbl {
+		t.Fatal("table lookup broken")
+	}
+	if _, ok := ctx.Table("absent"); ok {
+		t.Fatal("phantom table")
+	}
+}
+
+// TestOverlapRuleOlderVersionWins: a query reading tables from two groups
+// takes the OLDER pinned snapshot for states both groups cover.
+func TestOverlapRuleAcrossGroups(t *testing.T) {
+	ctx := NewContext()
+	store := kv.NewMem()
+	defer store.Close()
+	a, _ := ctx.CreateTable("a", store, TableOptions{})
+	b, _ := ctx.CreateTable("b", store, TableOptions{})
+	if _, err := ctx.CreateGroup("ga", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("gb", b); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+	write(t, p, a, "k", "a1")
+	write(t, p, b, "k", "b1")
+
+	r, _ := p.BeginReadOnly()
+	if _, _, err := p.Read(r, a, "k"); err != nil { // pins ga
+		t.Fatal(err)
+	}
+	write(t, p, b, "k", "b2") // gb advances after ga was pinned
+	v, _, err := p.Read(r, b, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gb pinned at its own first read: b2 is legal (groups are disjoint,
+	// so no overlap constraint applies).
+	if string(v) != "b2" {
+		t.Fatalf("disjoint group read: %q", v)
+	}
+	mustCommit(t, p, r)
+}
+
+// TestPropertySISerialHistoryMatchesMap replays a random single-threaded
+// history of transactions (with aborts) against SI and a reference map.
+func TestPropertySISerialHistoryMatchesMap(t *testing.T) {
+	f := func(seed int64) bool {
+		e := newEnv(t)
+		p := NewSI(e.ctx)
+		rng := newRand(seed)
+		model := map[string]string{}
+		for step := 0; step < 60; step++ {
+			tx, err := p.Begin()
+			if err != nil {
+				return false
+			}
+			staged := map[string]*string{}
+			nOps := rng.Intn(6) + 1
+			for i := 0; i < nOps; i++ {
+				k := fmt.Sprintf("k%d", rng.Intn(12))
+				switch rng.Intn(3) {
+				case 0:
+					v := fmt.Sprintf("v%d-%d", step, i)
+					if err := p.Write(tx, e.t1, k, []byte(v)); err != nil {
+						return false
+					}
+					vc := v
+					staged[k] = &vc
+				case 1:
+					if err := p.Delete(tx, e.t1, k); err != nil {
+						return false
+					}
+					staged[k] = nil
+				default:
+					got, ok, err := p.Read(tx, e.t1, k)
+					if err != nil {
+						return false
+					}
+					var want *string
+					if s, inTx := staged[k]; inTx {
+						want = s
+					} else if mv, inModel := model[k]; inModel {
+						want = &mv
+					}
+					if (want == nil) != !ok {
+						t.Logf("step %d read %q: ok=%v want-nil=%v", step, k, ok, want == nil)
+						return false
+					}
+					if want != nil && string(got) != *want {
+						t.Logf("step %d read %q: %q want %q", step, k, got, *want)
+						return false
+					}
+				}
+			}
+			if rng.Intn(4) == 0 {
+				if err := p.Abort(tx); err != nil {
+					return false
+				}
+			} else {
+				if err := p.Commit(tx); err != nil {
+					return false
+				}
+				for k, v := range staged {
+					if v == nil {
+						delete(model, k)
+					} else {
+						model[k] = *v
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

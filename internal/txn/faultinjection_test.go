@@ -1,0 +1,167 @@
+package txn
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"sistream/internal/kv"
+)
+
+// failingStore wraps a kv.Store and fails Apply once armed, simulating a
+// disk error at the worst moment of the commit protocol (the durability
+// phase).
+type failingStore struct {
+	kv.Store
+	fail atomic.Bool
+}
+
+var errDiskFull = errors.New("injected: disk full")
+
+func (f *failingStore) Apply(b *kv.Batch, sync bool) error {
+	if f.fail.Load() {
+		return errDiskFull
+	}
+	return f.Store.Apply(b, sync)
+}
+
+// TestCommitDurabilityFailureAbortsCleanly: if the base store rejects the
+// commit batch, the transaction aborts with no visible effect — memory
+// versions untouched, LastCTS unchanged, and later transactions proceed
+// normally once the store recovers.
+func TestCommitDurabilityFailureAbortsCleanly(t *testing.T) {
+	inner := kv.NewMem()
+	defer inner.Close()
+	fs := &failingStore{Store: inner}
+
+	ctx := NewContext()
+	a, err := ctx.CreateTable("a", fs, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctx.CreateTable("b", fs, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("g", a, b); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+
+	// Healthy baseline commit.
+	tx, _ := p.Begin()
+	p.Write(tx, a, "k", []byte("good"))
+	p.Write(tx, b, "k", []byte("good"))
+	mustCommit(t, p, tx)
+	baseCTS := a.Group().LastCTS()
+
+	// Armed failure: the commit must surface the error and abort.
+	fs.fail.Store(true)
+	tx2, _ := p.Begin()
+	p.Write(tx2, a, "k", []byte("doomed"))
+	p.Write(tx2, b, "k", []byte("doomed"))
+	err = p.Commit(tx2)
+	if err == nil || !errors.Is(err, errDiskFull) {
+		t.Fatalf("commit error = %v, want injected disk error", err)
+	}
+
+	// Nothing leaked: snapshot and watermark unchanged.
+	if a.Group().LastCTS() != baseCTS {
+		t.Fatalf("LastCTS moved: %d -> %d", baseCTS, a.Group().LastCTS())
+	}
+	if v, ok := readOne(t, p, a, "k"); !ok || v != "good" {
+		t.Fatalf("a after failed commit: %q %v", v, ok)
+	}
+	if v, ok := readOne(t, p, b, "k"); !ok || v != "good" {
+		t.Fatalf("b after failed commit: %q %v", v, ok)
+	}
+	// The handle is dead.
+	if err := p.Commit(tx2); err != ErrFinished {
+		t.Fatalf("re-commit of failed txn: %v", err)
+	}
+	if ctx.ActiveCount() != 0 {
+		t.Fatalf("failed txn leaked a slot: %d active", ctx.ActiveCount())
+	}
+
+	// Store heals: the system keeps working.
+	fs.fail.Store(false)
+	tx3, _ := p.Begin()
+	p.Write(tx3, a, "k", []byte("after"))
+	mustCommit(t, p, tx3)
+	if v, _ := readOne(t, p, a, "k"); v != "after" {
+		t.Fatalf("post-recovery commit lost: %q", v)
+	}
+	if a.Group().LastCTS() <= baseCTS {
+		t.Fatal("watermark did not advance after recovery")
+	}
+}
+
+// TestDurabilityFailureUnderS2PLReleasesLocks: the locking protocol must
+// release all locks when the durability phase fails, or the system would
+// wedge.
+func TestDurabilityFailureUnderS2PLReleasesLocks(t *testing.T) {
+	inner := kv.NewMem()
+	defer inner.Close()
+	fs := &failingStore{Store: inner}
+	ctx := NewContext()
+	a, _ := ctx.CreateTable("a", fs, TableOptions{})
+	if _, err := ctx.CreateGroup("g", a); err != nil {
+		t.Fatal(err)
+	}
+	p := NewS2PL(ctx)
+
+	fs.fail.Store(true)
+	tx, _ := p.Begin()
+	if err := p.Write(tx, a, "k", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Commit(tx); err == nil {
+		t.Fatal("expected commit failure")
+	}
+	if p.LockCount() != 0 {
+		t.Fatalf("locks leaked after failed commit: %d", p.LockCount())
+	}
+	fs.fail.Store(false)
+	// The key is immediately writable by another transaction.
+	tx2, _ := p.Begin()
+	if err := p.Write(tx2, a, "k", []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, p, tx2)
+}
+
+// TestDurabilityFailureUnderBOCCNotRegistered: a failed BOCC commit must
+// not enter the validation history (it never became visible).
+func TestDurabilityFailureUnderBOCCNotRegistered(t *testing.T) {
+	inner := kv.NewMem()
+	defer inner.Close()
+	fs := &failingStore{Store: inner}
+	ctx := NewContext()
+	a, _ := ctx.CreateTable("a", fs, TableOptions{})
+	if _, err := ctx.CreateGroup("g", a); err != nil {
+		t.Fatal(err)
+	}
+	p := NewBOCC(ctx)
+
+	// A reader starts before the doomed writer commits.
+	reader, _ := p.BeginReadOnly()
+	if _, _, err := p.Read(reader, a, "k"); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.fail.Store(true)
+	w, _ := p.Begin()
+	p.Write(w, a, "k", []byte("doomed"))
+	if err := p.Commit(w); err == nil {
+		t.Fatal("expected commit failure")
+	}
+	fs.fail.Store(false)
+
+	// The reader validates cleanly: the failed writer left no record.
+	if err := p.Commit(reader); err != nil {
+		t.Fatalf("reader aborted against a never-visible commit: %v", err)
+	}
+	if n := ctx.recent.Len(); n != 0 {
+		t.Fatalf("failed commit entered the history: %d records", n)
+	}
+}

@@ -1,0 +1,209 @@
+package txn
+
+import (
+	"sync"
+)
+
+// lockMode distinguishes shared (read) from exclusive (write) locks.
+type lockMode uint8
+
+const (
+	lockShared lockMode = iota
+	lockExclusive
+)
+
+// lockShardCount spreads the lock table; must be a power of two.
+const lockShardCount = 64
+
+// lockRef remembers one acquired lock for release at transaction end.
+type lockRef struct {
+	mgr   *lockManager
+	state StateID
+	key   string
+}
+
+// lockManager is the strict-2PL lock table: one entry per locked
+// (state, key), with shared/exclusive modes, FIFO-fair wakeups via a
+// condition variable, and wait-die deadlock avoidance — a requester may
+// only wait for strictly younger holders (larger IDs); a requester
+// younger than any conflicting holder "dies" (ErrDeadlock) and is
+// expected to be restarted by the caller with a fresh, younger-still ID.
+// Wait-die guarantees freedom from deadlock because waits only ever point
+// from older to younger transactions.
+type lockManager struct {
+	shards [lockShardCount]lockShard
+}
+
+type lockShard struct {
+	mu      sync.Mutex
+	entries map[string]*lockEntry
+}
+
+type lockEntry struct {
+	cond    *sync.Cond
+	holders map[ID]lockMode
+	waiters int
+	// xWaiters are transactions queued for an exclusive lock. Later
+	// requests must not barge past them (anti-starvation: without this,
+	// a stream of overlapping shared readers would starve the writer
+	// forever and the benchmark would show readers accelerating under
+	// contention instead of stalling, inverting the paper's Figure 4).
+	xWaiters map[ID]bool
+}
+
+func newLockManager() *lockManager {
+	m := &lockManager{}
+	for i := range m.shards {
+		m.shards[i].entries = make(map[string]*lockEntry)
+	}
+	return m
+}
+
+func (m *lockManager) shard(k string) *lockShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(k); i++ {
+		h ^= uint32(k[i])
+		h *= 16777619
+	}
+	return &m.shards[h&(lockShardCount-1)]
+}
+
+func lockKey(state StateID, key string) string {
+	return string(state) + "\x00" + key
+}
+
+// compatible reports whether tx may take mode given current holders and
+// queued exclusive requests. A transaction is always compatible with its
+// own locks (re-entrancy and S->X upgrade are resolved by the caller
+// loop); it never queues behind its own pending exclusive request.
+func compatible(e *lockEntry, tx ID, mode lockMode) bool {
+	for holder, held := range e.holders {
+		if holder == tx {
+			continue
+		}
+		if mode == lockExclusive || held == lockExclusive {
+			return false
+		}
+	}
+	for waiter := range e.xWaiters {
+		if waiter != tx {
+			return false // no barging past queued exclusive requests
+		}
+	}
+	return true
+}
+
+// mayWait applies wait-die: tx may wait only if it is older (smaller ID)
+// than every conflicting holder and every queued exclusive requester.
+// Waits then always point from older to younger transactions, which is
+// what makes the wait graph acyclic.
+func mayWait(e *lockEntry, tx ID, mode lockMode) bool {
+	for holder, held := range e.holders {
+		if holder == tx {
+			continue
+		}
+		if mode == lockExclusive || held == lockExclusive {
+			if tx > holder {
+				return false
+			}
+		}
+	}
+	for waiter := range e.xWaiters {
+		if waiter != tx && tx > waiter {
+			return false
+		}
+	}
+	return true
+}
+
+// acquire takes (state, key) in the given mode for tx, blocking when
+// wait-die allows and returning ErrDeadlock otherwise. Upgrades from
+// shared to exclusive follow the same rules.
+func (m *lockManager) acquire(tx *Txn, state StateID, key string, mode lockMode) error {
+	k := lockKey(state, key)
+	sh := m.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[k]
+	if !ok {
+		e = &lockEntry{holders: make(map[ID]lockMode), xWaiters: make(map[ID]bool)}
+		e.cond = sync.NewCond(&sh.mu)
+		sh.entries[k] = e
+	}
+	queuedX := false
+	defer func() {
+		if queuedX {
+			delete(e.xWaiters, tx.id)
+			e.cond.Broadcast()
+		}
+	}()
+	for {
+		if held, own := e.holders[tx.id]; own && (held == lockExclusive || held == mode) {
+			return nil // already held in a sufficient mode
+		}
+		if compatible(e, tx.id, mode) {
+			if _, own := e.holders[tx.id]; !own {
+				tx.mu.Lock()
+				tx.locks = append(tx.locks, lockRef{mgr: m, state: state, key: key})
+				tx.mu.Unlock()
+			}
+			e.holders[tx.id] = mode
+			return nil
+		}
+		if !mayWait(e, tx.id, mode) {
+			if len(e.holders) == 0 && e.waiters == 0 {
+				delete(sh.entries, k)
+			}
+			return ErrDeadlock
+		}
+		if mode == lockExclusive && !queuedX {
+			queuedX = true
+			e.xWaiters[tx.id] = true
+		}
+		e.waiters++
+		e.cond.Wait()
+		e.waiters--
+	}
+}
+
+// release drops tx's lock on (state, key) and wakes waiters.
+func (m *lockManager) release(tx *Txn, state StateID, key string) {
+	k := lockKey(state, key)
+	sh := m.shard(k)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[k]
+	if !ok {
+		return
+	}
+	delete(e.holders, tx.id)
+	if len(e.holders) == 0 && e.waiters == 0 {
+		delete(sh.entries, k)
+		return
+	}
+	e.cond.Broadcast()
+}
+
+// releaseAll drops every lock tx holds (strictness: locks are held to
+// transaction end).
+func (m *lockManager) releaseAll(tx *Txn) {
+	tx.mu.Lock()
+	refs := tx.locks
+	tx.locks = nil
+	tx.mu.Unlock()
+	for _, ref := range refs {
+		m.release(tx, ref.state, ref.key)
+	}
+}
+
+// lockCount reports the number of live lock entries (diagnostic).
+func (m *lockManager) lockCount() int {
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
+}

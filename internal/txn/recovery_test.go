@@ -1,0 +1,317 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+
+	"sistream/internal/kv"
+	"sistream/internal/lsm"
+)
+
+// TestRecoveryFromLSM exercises the full persistence loop with the real
+// persistent backend: commit synchronously, crash (drop the context,
+// reopen the store), recover, verify, continue.
+func TestRecoveryFromLSM(t *testing.T) {
+	dir := t.TempDir()
+
+	db, err := lsm.Open(dir, lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext()
+	a, _ := ctx.CreateTable("a", db, TableOptions{SyncCommits: true})
+	b, _ := ctx.CreateTable("b", db, TableOptions{SyncCommits: true})
+	if _, err := ctx.CreateGroup("g", a, b); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+	for i := 0; i < 20; i++ {
+		tx, _ := p.Begin()
+		p.Write(tx, a, fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("a%d", i)))
+		p.Write(tx, b, fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("b%d", i)))
+		mustCommit(t, p, tx)
+	}
+	// Delete a few rows transactionally.
+	tx, _ := p.Begin()
+	p.Delete(tx, a, "k00")
+	p.Delete(tx, b, "k00")
+	mustCommit(t, p, tx)
+	want := a.Group().LastCTS()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart".
+	db2, err := lsm.Open(dir, lsm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	ctx2 := NewContext()
+	a2, _ := ctx2.CreateTable("a", db2, TableOptions{SyncCommits: true})
+	b2, _ := ctx2.CreateTable("b", db2, TableOptions{SyncCommits: true})
+	g2, err := ctx2.CreateGroup("g", a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.LastCTS() != want {
+		t.Fatalf("recovered LastCTS %d, want %d", g2.LastCTS(), want)
+	}
+	p2 := NewSI(ctx2)
+	if _, ok := readOne(t, p2, a2, "k00"); ok {
+		t.Fatal("deleted row resurrected")
+	}
+	for i := 1; i < 20; i++ {
+		va, oka := readOne(t, p2, a2, fmt.Sprintf("k%02d", i))
+		vb, okb := readOne(t, p2, b2, fmt.Sprintf("k%02d", i))
+		if !oka || !okb || va != fmt.Sprintf("a%d", i) || vb != fmt.Sprintf("b%d", i) {
+			t.Fatalf("row %d: %q/%v %q/%v", i, va, oka, vb, okb)
+		}
+	}
+	if a2.Keys() != 19 {
+		t.Fatalf("recovered key count %d", a2.Keys())
+	}
+}
+
+// TestRecoveryLaggingStore: states of one group on DIFFERENT stores,
+// where one store missed the final commit (simulating a crash between
+// per-store batches). Recovery must settle on the max watermark and both
+// tables must load what their stores hold — the documented reconciliation
+// semantics of CreateGroup.
+func TestRecoveryLaggingStore(t *testing.T) {
+	s1 := kv.NewMem()
+	s2 := kv.NewMem()
+	defer s1.Close()
+	defer s2.Close()
+
+	ctx := NewContext()
+	a, _ := ctx.CreateTable("a", s1, TableOptions{})
+	b, _ := ctx.CreateTable("b", s2, TableOptions{})
+	if _, err := ctx.CreateGroup("g", a, b); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+	tx, _ := p.Begin()
+	p.Write(tx, a, "k", []byte("va"))
+	p.Write(tx, b, "k", []byte("vb"))
+	mustCommit(t, p, tx)
+	cts := a.Group().LastCTS()
+
+	// Simulate store s2 lagging: wipe its rows and watermark as if the
+	// final batch never reached it.
+	if err := s2.Delete([]byte("s/b/k")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Delete([]byte("m/b/lastcts")); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx2 := NewContext()
+	a2, _ := ctx2.CreateTable("a", s1, TableOptions{})
+	b2, _ := ctx2.CreateTable("b", s2, TableOptions{})
+	g2, err := ctx2.CreateGroup("g", a2, b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Watermark reconciles to the max across members.
+	if g2.LastCTS() != cts {
+		t.Fatalf("reconciled LastCTS %d, want %d", g2.LastCTS(), cts)
+	}
+	p2 := NewSI(ctx2)
+	if v, ok := readOne(t, p2, a2, "k"); !ok || v != "va" {
+		t.Fatalf("a after reconciliation: %q %v", v, ok)
+	}
+	// b lost its row (the store that missed the batch); the group is
+	// usable and new commits repair it.
+	if _, ok := readOne(t, p2, b2, "k"); ok {
+		t.Fatal("lagging store magically has the row")
+	}
+	tx2, _ := p2.Begin()
+	p2.Write(tx2, b2, "k", []byte("vb-repaired"))
+	mustCommit(t, p2, tx2)
+	if v, ok := readOne(t, p2, b2, "k"); !ok || v != "vb-repaired" {
+		t.Fatalf("repair failed: %q %v", v, ok)
+	}
+}
+
+func TestRecoveryCorruptWatermarkRejected(t *testing.T) {
+	s := kv.NewMem()
+	defer s.Close()
+	if err := s.Put([]byte("m/t/lastcts"), []byte("bogus")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext()
+	tbl, _ := ctx.CreateTable("t", s, TableOptions{})
+	if _, err := ctx.CreateGroup("g", tbl); err == nil {
+		t.Fatal("corrupt watermark accepted")
+	}
+}
+
+func TestWatchers(t *testing.T) {
+	e := newEnv(t)
+	p := NewSI(e.ctx)
+	type event struct {
+		cts    Timestamp
+		states int
+		keys   int
+	}
+	var events []event
+	e.group.Watch(func(cts Timestamp, writes map[StateID][]string) {
+		n := 0
+		for _, ks := range writes {
+			n += len(ks)
+		}
+		events = append(events, event{cts: cts, states: len(writes), keys: n})
+	})
+
+	// Multi-state commit: one event covering both states.
+	tx, _ := p.Begin()
+	p.Write(tx, e.t1, "x", []byte("1"))
+	p.Write(tx, e.t1, "y", []byte("2"))
+	p.Write(tx, e.t2, "x", []byte("3"))
+	mustCommit(t, p, tx)
+
+	// Aborted transaction: no event.
+	tx2, _ := p.Begin()
+	p.Write(tx2, e.t1, "z", []byte("never"))
+	if err := p.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-only commit: no event.
+	r, _ := p.BeginReadOnly()
+	p.Read(r, e.t1, "x")
+	mustCommit(t, p, r)
+
+	if len(events) != 1 {
+		t.Fatalf("watcher fired %d times, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.states != 2 || ev.keys != 3 {
+		t.Fatalf("event: %+v", ev)
+	}
+	if ev.cts != e.group.LastCTS() {
+		t.Fatalf("event cts %d != LastCTS %d", ev.cts, e.group.LastCTS())
+	}
+}
+
+// TestProtocolsEquivalentOnSerialHistories: the same single-threaded
+// workload must leave identical final states under SI, S2PL and BOCC —
+// the protocols differ in concurrency behavior, not in semantics.
+func TestProtocolsEquivalentOnSerialHistories(t *testing.T) {
+	type op struct {
+		key    string
+		value  string
+		delete bool
+	}
+	type batch struct {
+		ops   []op
+		abort bool
+	}
+	rng := newRand(7)
+	var script []batch
+	for i := 0; i < 40; i++ {
+		var b batch
+		b.abort = rng.Intn(5) == 0
+		for j := 0; j < rng.Intn(5)+1; j++ {
+			o := op{key: fmt.Sprintf("k%d", rng.Intn(10)), value: fmt.Sprintf("v%d-%d", i, j)}
+			o.delete = rng.Intn(5) == 0
+			b.ops = append(b.ops, o)
+		}
+		script = append(script, b)
+	}
+
+	finals := map[string]map[string]string{}
+	for name, mk := range protocolsUnderTest(t) {
+		e := newEnv(t)
+		p := mk(e)
+		for _, b := range script {
+			tx, err := p.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range b.ops {
+				if o.delete {
+					err = p.Delete(tx, e.t1, o.key)
+				} else {
+					err = p.Write(tx, e.t1, o.key, []byte(o.value))
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if b.abort {
+				if err := p.Abort(tx); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := p.Commit(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		final := map[string]string{}
+		for i := 0; i < 10; i++ {
+			k := fmt.Sprintf("k%d", i)
+			if v, ok := readOne(t, p, e.t1, k); ok {
+				final[k] = v
+			}
+		}
+		finals[name] = final
+	}
+	if fmt.Sprint(finals["mvcc"]) != fmt.Sprint(finals["s2pl"]) ||
+		fmt.Sprint(finals["mvcc"]) != fmt.Sprint(finals["bocc"]) {
+		t.Fatalf("protocols diverged:\nmvcc=%v\ns2pl=%v\nbocc=%v",
+			finals["mvcc"], finals["s2pl"], finals["bocc"])
+	}
+}
+
+// TestTableGCExplicit: table-level GC reclaims dead versions once no
+// snapshot pins them.
+func TestTableGCExplicit(t *testing.T) {
+	e := newEnv(t)
+	p := NewSI(e.ctx)
+	for i := 0; i < 30; i++ {
+		write(t, p, e.t1, "k", fmt.Sprintf("v%d", i))
+	}
+	if n := e.t1.GC(); n < 0 {
+		t.Fatalf("GC returned %d", n)
+	}
+	o := e.t1.object("k", false)
+	if o.LiveVersions() != 1 {
+		t.Fatalf("after GC with no pins: %d live versions", o.LiveVersions())
+	}
+	if v, _ := readOne(t, p, e.t1, "k"); v != "v29" {
+		t.Fatalf("GC destroyed the live version: %q", v)
+	}
+}
+
+// TestSnapshotScanConsistentUnderWrites: a scan at a pinned snapshot is
+// stable even while new commits land.
+func TestSnapshotScanConsistentUnderWrites(t *testing.T) {
+	e := newEnv(t)
+	p := NewSI(e.ctx)
+	for i := 0; i < 10; i++ {
+		write(t, p, e.t1, fmt.Sprintf("k%d", i), "old")
+	}
+	reader, _ := p.BeginReadOnly()
+	if _, _, err := p.Read(reader, e.t1, "k0"); err != nil { // pin
+		t.Fatal(err)
+	}
+	rts := reader.readCTS[e.group.id]
+	for i := 0; i < 10; i++ {
+		write(t, p, e.t1, fmt.Sprintf("k%d", i), "new")
+	}
+	old, new_ := 0, 0
+	e.t1.SnapshotScan(rts, func(_ string, v []byte) bool {
+		switch string(v) {
+		case "old":
+			old++
+		case "new":
+			new_++
+		}
+		return true
+	})
+	mustCommit(t, p, reader)
+	if old != 10 || new_ != 0 {
+		t.Fatalf("pinned scan saw %d old / %d new", old, new_)
+	}
+}

@@ -1,0 +1,137 @@
+package txn
+
+import (
+	"sistream/internal/mvcc"
+)
+
+// S2PL is the strict two-phase locking baseline of the paper's
+// evaluation [6]: shared locks on read, exclusive locks on write (with
+// upgrade), all locks held until the transaction finishes. Reads return
+// the latest committed version — there are no snapshots, which is exactly
+// why concurrent ad-hoc readers stall behind the continuous writer on hot
+// keys as contention rises (Figure 4). Deadlocks are avoided with
+// wait-die; a killed transaction returns ErrDeadlock and the caller
+// restarts it (counted as an abort by the benchmark).
+//
+// S2PL shares the consistency protocol and commit machinery with SI: the
+// same group latches, durability batches and LastCTS publication. No
+// commit-time admission check is needed — the locks already guarantee
+// serializability.
+type S2PL struct {
+	protocolBase
+	locks *lockManager
+}
+
+// NewS2PL creates the strict-2PL protocol over ctx.
+func NewS2PL(ctx *Context) *S2PL {
+	return &S2PL{protocolBase: protocolBase{ctx: ctx}, locks: newLockManager()}
+}
+
+var _ Protocol = (*S2PL)(nil)
+
+// Name implements Protocol.
+func (p *S2PL) Name() string { return "s2pl" }
+
+// Begin implements Protocol.
+func (p *S2PL) Begin() (*Txn, error) { return p.begin(false) }
+
+// BeginReadOnly implements Protocol.
+func (p *S2PL) BeginReadOnly() (*Txn, error) { return p.begin(true) }
+
+// Read implements Protocol: acquire a shared lock, then read the latest
+// committed version.
+func (p *S2PL) Read(tx *Txn, tbl *Table, key string) ([]byte, bool, error) {
+	if err := requireGroup(tbl); err != nil {
+		return nil, false, err
+	}
+	tx.mu.Lock()
+	if tx.finished.Load() {
+		tx.mu.Unlock()
+		return nil, false, ErrFinished
+	}
+	if e, ok := tx.states[tbl.id]; ok {
+		if op, dirty := e.writes[key]; dirty {
+			v, del := op.value, op.delete
+			tx.mu.Unlock()
+			if del {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	tx.mu.Unlock()
+	if err := p.locks.acquire(tx, tbl.id, key, lockShared); err != nil {
+		p.abortInternal(tx)
+		return nil, false, err
+	}
+	v, ok := tbl.readVersion(key, mvcc.Infinity)
+	return v, ok, nil
+}
+
+// Write implements Protocol: exclusive lock, then buffer the write.
+func (p *S2PL) Write(tx *Txn, tbl *Table, key string, value []byte) error {
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	if tx.finished.Load() {
+		return ErrFinished
+	}
+	if err := p.locks.acquire(tx, tbl.id, key, lockExclusive); err != nil {
+		p.abortInternal(tx)
+		return err
+	}
+	return bufferWrite(tx, tbl, key, writeOp{value: append([]byte(nil), value...)})
+}
+
+// Delete implements Protocol.
+func (p *S2PL) Delete(tx *Txn, tbl *Table, key string) error {
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	if tx.finished.Load() {
+		return ErrFinished
+	}
+	if err := p.locks.acquire(tx, tbl.id, key, lockExclusive); err != nil {
+		p.abortInternal(tx)
+		return err
+	}
+	return bufferWrite(tx, tbl, key, writeOp{delete: true})
+}
+
+// CommitState implements Protocol.
+func (p *S2PL) CommitState(tx *Txn, tbl *Table) error {
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	return commitState(tx, tbl, func() error { return p.finishCommit(tx) })
+}
+
+// Commit implements Protocol.
+func (p *S2PL) Commit(tx *Txn) error {
+	return commitAll(tx, func() error { return p.finishCommit(tx) })
+}
+
+func (p *S2PL) finishCommit(tx *Txn) error {
+	err := p.installCommit(tx, nil)
+	// Strictness: locks fall only after the commit is fully installed and
+	// visible (or failed).
+	p.locks.releaseAll(tx)
+	return err
+}
+
+// Abort implements Protocol.
+func (p *S2PL) Abort(tx *Txn) error {
+	err := p.abort(tx)
+	p.locks.releaseAll(tx)
+	return err
+}
+
+// abortInternal cleans up after a wait-die kill; the ErrDeadlock from the
+// failed acquire is surfaced to the caller separately.
+func (p *S2PL) abortInternal(tx *Txn) {
+	_ = p.abort(tx)
+	p.locks.releaseAll(tx)
+}
+
+// LockCount exposes the live lock-entry count for tests.
+func (p *S2PL) LockCount() int { return p.locks.lockCount() }

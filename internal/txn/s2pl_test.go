@@ -1,0 +1,310 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestS2PLBasicCommit(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	write(t, p, e.t1, "a", "1")
+	if v, ok := readOne(t, p, e.t1, "a"); !ok || v != "1" {
+		t.Fatalf("read: %q %v", v, ok)
+	}
+	if p.LockCount() != 0 {
+		t.Fatalf("locks leaked: %d", p.LockCount())
+	}
+}
+
+func TestS2PLReadYourWritesAndDelete(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	tx, _ := p.Begin()
+	if err := p.Write(tx, e.t1, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := p.Read(tx, e.t1, "k"); !ok || string(v) != "v" {
+		t.Fatalf("own write: %q %v", v, ok)
+	}
+	if err := p.Delete(tx, e.t1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := p.Read(tx, e.t1, "k"); ok {
+		t.Fatal("own delete invisible")
+	}
+	mustCommit(t, p, tx)
+}
+
+func TestS2PLAbortReleasesLocks(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	tx, _ := p.Begin()
+	if err := p.Write(tx, e.t1, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if p.LockCount() == 0 {
+		t.Fatal("no lock held after write")
+	}
+	if err := p.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+	if p.LockCount() != 0 {
+		t.Fatalf("locks leaked after abort: %d", p.LockCount())
+	}
+	if _, ok := readOne(t, p, e.t1, "k"); ok {
+		t.Fatal("aborted write visible")
+	}
+}
+
+// TestS2PLWriterBlocksReader shows the defining behavioral difference
+// from SI: a reader stalls on a key the writer has locked until the
+// writer commits.
+func TestS2PLWriterBlocksReader(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	write(t, p, e.t1, "k", "v0")
+
+	writer, _ := p.Begin() // older (smaller ID)
+	if err := p.Write(writer, e.t1, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+
+	readerDone := make(chan string, 1)
+	readerStarted := make(chan struct{})
+	go func() {
+		// Younger reader: wait-die says a younger requester dies rather
+		// than waits, so retry until the writer releases.
+		close(readerStarted)
+		for {
+			r, err := p.BeginReadOnly()
+			if err != nil {
+				readerDone <- "begin: " + err.Error()
+				return
+			}
+			v, _, err := p.Read(r, e.t1, "k")
+			if err == nil {
+				p.Commit(r)
+				readerDone <- string(v)
+				return
+			}
+			if !IsAbort(err) {
+				readerDone <- "read: " + err.Error()
+				return
+			}
+			p.Abort(r) // already aborted internally; ignore result
+		}
+	}()
+	<-readerStarted
+	time.Sleep(20 * time.Millisecond) // give the reader time to collide
+	select {
+	case v := <-readerDone:
+		t.Fatalf("reader finished while writer held the lock: %q", v)
+	default:
+	}
+	mustCommit(t, p, writer)
+	select {
+	case v := <-readerDone:
+		if v != "v1" {
+			t.Fatalf("reader saw %q, want v1", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("reader never finished after writer commit")
+	}
+}
+
+// TestS2PLOlderWaitsYoungerDies pins down wait-die: the older transaction
+// blocks, the younger is killed with ErrDeadlock.
+func TestS2PLOlderWaitsYoungerDies(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	write(t, p, e.t1, "k", "v0")
+
+	older, _ := p.Begin()
+	younger, _ := p.Begin()
+	if older.ID() >= younger.ID() {
+		t.Fatal("test setup: IDs must be ordered")
+	}
+	// Younger takes the lock first.
+	if err := p.Write(younger, e.t1, "k", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	// Older requests it: must WAIT (not die). Run in goroutine.
+	olderDone := make(chan error, 1)
+	go func() {
+		err := p.Write(older, e.t1, "k", []byte("o"))
+		if err == nil {
+			err = p.Commit(older)
+		}
+		olderDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-olderDone:
+		t.Fatalf("older transaction should be waiting, finished with %v", err)
+	default:
+	}
+	mustCommit(t, p, younger)
+	if err := <-olderDone; err != nil {
+		t.Fatalf("older transaction failed after wait: %v", err)
+	}
+	if v, _ := readOne(t, p, e.t1, "k"); v != "o" {
+		t.Fatalf("final value %q, want o (older committed last)", v)
+	}
+
+	// And the reverse: younger requesting older's lock dies immediately.
+	holder, _ := p.Begin()
+	if err := p.Write(holder, e.t1, "k", []byte("h")); err != nil {
+		t.Fatal(err)
+	}
+	victim, _ := p.Begin()
+	err := p.Write(victim, e.t1, "k", []byte("v"))
+	if err == nil || !IsAbort(err) {
+		t.Fatalf("younger requester should die, got %v", err)
+	}
+	mustCommit(t, p, holder)
+}
+
+func TestS2PLSharedReadersCoexist(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	write(t, p, e.t1, "k", "v")
+	r1, _ := p.BeginReadOnly()
+	r2, _ := p.BeginReadOnly()
+	if _, _, err := p.Read(r1, e.t1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Read(r2, e.t1, "k"); err != nil {
+		t.Fatal(err)
+	}
+	mustCommit(t, p, r1)
+	mustCommit(t, p, r2)
+}
+
+func TestS2PLUpgrade(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	write(t, p, e.t1, "k", "v0")
+	tx, _ := p.Begin()
+	if _, _, err := p.Read(tx, e.t1, "k"); err != nil { // S lock
+		t.Fatal(err)
+	}
+	if err := p.Write(tx, e.t1, "k", []byte("v1")); err != nil { // upgrade to X
+		t.Fatal(err)
+	}
+	mustCommit(t, p, tx)
+	if v, _ := readOne(t, p, e.t1, "k"); v != "v1" {
+		t.Fatalf("upgrade commit lost: %q", v)
+	}
+}
+
+// TestS2PLNoLostUpdate runs concurrent increments; S2PL must serialize
+// them perfectly (retrying wait-die victims).
+func TestS2PLNoLostUpdate(t *testing.T) {
+	e := newEnv(t)
+	p := NewS2PL(e.ctx)
+	write(t, p, e.t1, "ctr", "0")
+	const workers, perWorker = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for { // retry loop for wait-die victims
+					tx, err := p.Begin()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					v, _, err := p.Read(tx, e.t1, "ctr")
+					if err != nil {
+						if IsAbort(err) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					var n int
+					fmt.Sscanf(string(v), "%d", &n)
+					if err := p.Write(tx, e.t1, "ctr", []byte(fmt.Sprintf("%d", n+1))); err != nil {
+						if IsAbort(err) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					if err := p.Commit(tx); err != nil {
+						if IsAbort(err) {
+							continue
+						}
+						t.Error(err)
+						return
+					}
+					break
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, _ := readOne(t, p, e.t1, "ctr")
+	if v != fmt.Sprintf("%d", workers*perWorker) {
+		t.Fatalf("lost updates: counter = %q, want %d", v, workers*perWorker)
+	}
+	if p.LockCount() != 0 {
+		t.Fatalf("locks leaked: %d", p.LockCount())
+	}
+}
+
+func TestLockManagerBasics(t *testing.T) {
+	m := newLockManager()
+	tx1 := &Txn{id: 1}
+	tx2 := &Txn{id: 2}
+	// Two shared locks coexist.
+	if err := m.acquire(tx1, "s", "k", lockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.acquire(tx2, "s", "k", lockShared); err != nil {
+		t.Fatal(err)
+	}
+	// Re-entrant acquire is a no-op.
+	if err := m.acquire(tx1, "s", "k", lockShared); err != nil {
+		t.Fatal(err)
+	}
+	if len(tx1.locks) != 1 {
+		t.Fatalf("duplicate lockRef recorded: %d", len(tx1.locks))
+	}
+	// Younger tx2 upgrading while older tx1 holds S: dies.
+	if err := m.acquire(tx2, "s", "k", lockExclusive); err != ErrDeadlock {
+		t.Fatalf("upgrade conflict: %v", err)
+	}
+	m.releaseAll(tx2)
+	// Now tx1 upgrades alone: fine.
+	if err := m.acquire(tx1, "s", "k", lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	m.releaseAll(tx1)
+	if m.lockCount() != 0 {
+		t.Fatalf("entries leaked: %d", m.lockCount())
+	}
+}
+
+func TestLockManagerExclusiveIsHeldOnce(t *testing.T) {
+	m := newLockManager()
+	tx1 := &Txn{id: 1}
+	tx3 := &Txn{id: 3}
+	if err := m.acquire(tx1, "s", "k", lockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	// X lock is re-entrant for shared requests by the same owner.
+	if err := m.acquire(tx1, "s", "k", lockShared); err != nil {
+		t.Fatal(err)
+	}
+	// Younger conflicting requester dies.
+	if err := m.acquire(tx3, "s", "k", lockShared); err != ErrDeadlock {
+		t.Fatalf("expected deadlock kill, got %v", err)
+	}
+	m.releaseAll(tx1)
+}

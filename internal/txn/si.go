@@ -1,0 +1,151 @@
+package txn
+
+import (
+	"fmt"
+)
+
+// SI is the paper's snapshot-isolation protocol over MVCC tables
+// (Section 4.2):
+//
+//   - Reads first consult the transaction's own uncommitted write set,
+//     then the latest version visible at the snapshot pinned on the
+//     transaction's first read of the group (ReadCTS). Reads never block
+//     writes and vice versa.
+//   - Writes only append to the write set ("Dirty Array"); with a single
+//     writer they never block, and with multiple writers conflicts are
+//     resolved at commit time by the First-Committer-Wins rule.
+//   - Commit runs the shared consistency protocol: under the group commit
+//     latch the FCW check admits the transaction, versions are installed,
+//     the base table is updated in one (optionally synchronous) batch per
+//     store, and LastCTS is published atomically.
+//   - Abort just discards the write set — no undo is ever needed inside
+//     the table.
+type SI struct {
+	protocolBase
+}
+
+// NewSI creates the snapshot-isolation protocol over ctx.
+func NewSI(ctx *Context) *SI {
+	return &SI{protocolBase{ctx: ctx}}
+}
+
+var _ Protocol = (*SI)(nil)
+
+// Name implements Protocol.
+func (p *SI) Name() string { return "mvcc" }
+
+// Begin implements Protocol.
+func (p *SI) Begin() (*Txn, error) { return p.begin(false) }
+
+// BeginReadOnly implements Protocol.
+func (p *SI) BeginReadOnly() (*Txn, error) { return p.begin(true) }
+
+// Read implements Protocol: write set first, then the snapshot version.
+func (p *SI) Read(tx *Txn, tbl *Table, key string) ([]byte, bool, error) {
+	if err := requireGroup(tbl); err != nil {
+		return nil, false, err
+	}
+	tx.mu.Lock()
+	if tx.finished.Load() {
+		tx.mu.Unlock()
+		return nil, false, ErrFinished
+	}
+	if e, ok := tx.states[tbl.id]; ok {
+		if op, dirty := e.writes[key]; dirty {
+			v, del := op.value, op.delete
+			tx.mu.Unlock()
+			if del {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	rts := tx.pin(tbl)
+	tx.mu.Unlock()
+	v, ok := tbl.readVersion(key, rts)
+	return v, ok, nil
+}
+
+// Write implements Protocol. The write pins the transaction's snapshot
+// for the table's group (first access wins): the First-Committer-Wins
+// check compares committed versions against this pin, so strictly
+// sequential transactions — e.g. the batches of one continuous stream
+// query, whose Begin may race ahead of the previous batch's commit in a
+// pipelined dataflow — never conflict with themselves, while genuinely
+// concurrent writers of one key still abort.
+func (p *SI) Write(tx *Txn, tbl *Table, key string, value []byte) error {
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	tx.mu.Lock()
+	if tx.finished.Load() {
+		tx.mu.Unlock()
+		return ErrFinished
+	}
+	tx.pin(tbl)
+	tx.mu.Unlock()
+	return bufferWrite(tx, tbl, key, writeOp{value: append([]byte(nil), value...)})
+}
+
+// Delete implements Protocol (see Write for snapshot pinning).
+func (p *SI) Delete(tx *Txn, tbl *Table, key string) error {
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	tx.mu.Lock()
+	if tx.finished.Load() {
+		tx.mu.Unlock()
+		return ErrFinished
+	}
+	tx.pin(tbl)
+	tx.mu.Unlock()
+	return bufferWrite(tx, tbl, key, writeOp{delete: true})
+}
+
+// admitFCW is the First-Committer-Wins check: the transaction must abort
+// if any written key has a committed version newer than the transaction's
+// snapshot — "if the current version is greater than the timestamp of
+// the transaction, it must abort" (Section 4.2). The snapshot is the
+// ReadCTS pinned at the transaction's first access of the group (Write
+// pins it too, so it always exists for written states); the begin
+// timestamp is a defensive fallback.
+func (p *SI) admitFCW(tx *Txn) error {
+	for _, e := range tx.states {
+		snapshot := tx.id
+		if pinned, ok := tx.readCTS[e.table.group.id]; ok {
+			snapshot = pinned
+		}
+		for _, key := range e.order {
+			o := e.table.object(key, false)
+			if o == nil {
+				continue
+			}
+			if latest := o.LatestCTS(); latest > snapshot {
+				return fmt.Errorf("%w: state %q key %q (latest %d > snapshot %d)",
+					ErrConflict, e.table.id, key, latest, snapshot)
+			}
+		}
+	}
+	return nil
+}
+
+// CommitState implements Protocol (the consistency protocol's per-state
+// flag; see Section 4.3).
+func (p *SI) CommitState(tx *Txn, tbl *Table) error {
+	if err := requireGroup(tbl); err != nil {
+		return err
+	}
+	return commitState(tx, tbl, func() error {
+		return p.installCommit(tx, func() error { return p.admitFCW(tx) })
+	})
+}
+
+// Commit implements Protocol.
+func (p *SI) Commit(tx *Txn) error {
+	return commitAll(tx, func() error {
+		return p.installCommit(tx, func() error { return p.admitFCW(tx) })
+	})
+}
+
+// Abort implements Protocol.
+func (p *SI) Abort(tx *Txn) error { return p.abort(tx) }

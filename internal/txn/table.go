@@ -1,0 +1,226 @@
+package txn
+
+import (
+	"fmt"
+	"sync"
+
+	"sistream/internal/kv"
+	"sistream/internal/mvcc"
+)
+
+// tableShards spreads the per-key MVCC objects over independently locked
+// maps so the continuous writer and many ad-hoc readers rarely contend on
+// the same shard. Must be a power of two.
+const tableShards = 64
+
+// TableOptions configures a transactional table.
+type TableOptions struct {
+	// VersionSlots is the initial version-array capacity per key
+	// (default mvcc.DefaultSlots). The slot-size ablation (experiment A1)
+	// sweeps this.
+	VersionSlots int
+	// SyncCommits makes commits durable (fsync) before they become
+	// visible. The paper's evaluation enables it ("we ... only set the
+	// sync option to true to guarantee failure atomicity").
+	SyncCommits bool
+}
+
+// Table is the transactional table wrapper of the paper's Figure 3: a
+// dictionary from keys to MVCC objects layered over an arbitrary
+// key-value base table (the "base table" holding the durable image of the
+// latest committed version of every key).
+//
+// Tables must be registered in a topology group before transactional use.
+// Several tables may share one base store — keys are namespaced by state
+// ID — and states of one group sharing a store get atomic multi-state
+// durability for free (a single batch); states on different stores rely
+// on recovery reconciliation via the per-store LastCTS (see CreateGroup).
+type Table struct {
+	id    StateID
+	ctx   *Context
+	group *Group
+	store kv.Store
+	opts  TableOptions
+
+	shards [tableShards]tableShard
+}
+
+type tableShard struct {
+	mu sync.RWMutex
+	m  map[string]*mvcc.Object
+}
+
+// CreateTable registers a transactional table named id over the given
+// base store. The table is empty in memory until its group is created,
+// which performs recovery of persisted rows.
+func (c *Context) CreateTable(id StateID, store kv.Store, opts TableOptions) (*Table, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.states[id]; dup {
+		return nil, fmt.Errorf("txn: table %q already exists", id)
+	}
+	t := &Table{id: id, ctx: c, store: store, opts: opts}
+	for i := range t.shards {
+		t.shards[i].m = make(map[string]*mvcc.Object)
+	}
+	c.states[id] = t
+	return t, nil
+}
+
+// ID returns the table's state identifier.
+func (t *Table) ID() StateID { return t.id }
+
+// Group returns the topology group the table belongs to (nil before
+// CreateGroup).
+func (t *Table) Group() *Group { return t.group }
+
+// rowPrefix namespaces this table's rows in the shared base store.
+func (t *Table) rowKey(key string) []byte {
+	return []byte("s/" + string(t.id) + "/" + key)
+}
+
+// metaKey holds the group's LastCTS in this table's base store; written
+// as part of every commit batch so that durability of data and of the
+// visibility watermark are a single atomic unit per store.
+func (t *Table) metaKey() []byte {
+	return []byte("m/" + string(t.id) + "/lastcts")
+}
+
+func (t *Table) shard(key string) *tableShard {
+	var h uint32 = 2166136261
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &t.shards[h&(tableShards-1)]
+}
+
+// object returns the MVCC object for key, creating it when create is set.
+func (t *Table) object(key string, create bool) *mvcc.Object {
+	sh := t.shard(key)
+	sh.mu.RLock()
+	o := sh.m[key]
+	sh.mu.RUnlock()
+	if o != nil || !create {
+		return o
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if o = sh.m[key]; o == nil {
+		o = mvcc.NewObject(t.opts.VersionSlots)
+		sh.m[key] = o
+	}
+	return o
+}
+
+// readVersion returns the value of key visible at rts.
+func (t *Table) readVersion(key string, rts Timestamp) ([]byte, bool) {
+	o := t.object(key, false)
+	if o == nil {
+		return nil, false
+	}
+	return o.Read(rts)
+}
+
+// ReadAt returns the value of key visible at snapshot rts, bypassing any
+// protocol bookkeeping. It serves change feeds (TO_STREAM) that must
+// report a row exactly as a given commit installed it, and diagnostics.
+// The returned slice must not be modified.
+func (t *Table) ReadAt(key string, rts Timestamp) ([]byte, bool) {
+	return t.readVersion(key, rts)
+}
+
+// Keys returns the number of keys with at least one live or dead version
+// (diagnostic).
+func (t *Table) Keys() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// GC reclaims versions invisible at the context's current
+// OldestActiveVersion across all keys, returning reclaimed slots.
+func (t *Table) GC() int {
+	horizon := t.ctx.OldestActiveVersion()
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		objs := make([]*mvcc.Object, 0, len(sh.m))
+		for _, o := range sh.m {
+			objs = append(objs, o)
+		}
+		sh.mu.RUnlock()
+		for _, o := range objs {
+			n += o.GC(horizon)
+		}
+	}
+	return n
+}
+
+// readMetaCTS reads the persisted LastCTS watermark, 0 when absent.
+func (t *Table) readMetaCTS() (Timestamp, error) {
+	raw, found, err := t.store.Get(t.metaKey())
+	if err != nil || !found {
+		return 0, err
+	}
+	if len(raw) != 8 {
+		return 0, fmt.Errorf("txn: state %q: malformed lastcts", t.id)
+	}
+	var ts Timestamp
+	for i := 0; i < 8; i++ {
+		ts |= Timestamp(raw[i]) << (8 * i)
+	}
+	return ts, nil
+}
+
+func encodeTS(ts Timestamp) []byte {
+	out := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		out[i] = byte(ts >> (8 * i))
+	}
+	return out
+}
+
+// loadCommitted scans the table's rows in the base store and seeds the
+// in-memory version store with one committed version per key at cts.
+func (t *Table) loadCommitted(cts Timestamp) error {
+	prefix := t.rowKey("")
+	end := append(append([]byte(nil), prefix...), 0xff)
+	return t.store.Scan(prefix, end, func(k, v []byte) bool {
+		key := string(k[len(prefix):])
+		t.object(key, true).InstallRecovered(cts, v)
+		return true
+	})
+}
+
+// SnapshotScan iterates all keys visible at snapshot rts in unspecified
+// order, calling fn until it returns false. It is the building block of
+// ad-hoc full-table queries (FROM on a table).
+func (t *Table) SnapshotScan(rts Timestamp, fn func(key string, value []byte) bool) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		type kv struct {
+			k string
+			o *mvcc.Object
+		}
+		pairs := make([]kv, 0, len(sh.m))
+		for k, o := range sh.m {
+			pairs = append(pairs, kv{k, o})
+		}
+		sh.mu.RUnlock()
+		for _, p := range pairs {
+			if v, ok := p.o.Read(rts); ok {
+				if !fn(p.k, v) {
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package txn implements the paper's transactional state management
+// (Section 4): the global state context, the transactional table wrapper
+// over a key-value base table, three concurrency-control protocols —
+// snapshot isolation via MVCC (the paper's contribution), strict
+// two-phase locking (S2PL) and backward-oriented optimistic concurrency
+// control (BOCC) as evaluation baselines — and the consistency protocol
+// that makes commits spanning multiple states of one topology group
+// atomically visible (Section 4.3).
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sistream/internal/mvcc"
+)
+
+// ID is a transaction identifier. IDs are logical timestamps drawn from
+// the context's global atomic counter, so they are totally ordered with
+// commit timestamps — the First-Committer-Wins rule and the wait-die
+// deadlock-avoidance policy both rely on this ordering.
+type ID = uint64
+
+// Timestamp aliases the MVCC logical timestamp.
+type Timestamp = mvcc.Timestamp
+
+// StateID names a transactional state (table).
+type StateID string
+
+// GroupID names a topology group: the set of states one continuous query
+// writes together and whose updates must become visible atomically.
+type GroupID string
+
+// Status is the per-(transaction, state) flag driving the consistency
+// protocol: the coordinator role falls to whoever flips the last state of
+// a transaction to StatusCommit.
+type Status uint8
+
+// Per-state transaction statuses.
+const (
+	StatusActive Status = iota
+	StatusCommit
+	StatusAbort
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusActive:
+		return "Active"
+	case StatusCommit:
+		return "Commit"
+	case StatusAbort:
+		return "Abort"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Errors reported by the protocols. ErrAborted wraps the specific cause
+// where one exists; IsAbort recognizes every variant.
+var (
+	// ErrAborted is returned when a transaction was aborted (explicitly,
+	// or by a conflict rule).
+	ErrAborted = errors.New("txn: transaction aborted")
+	// ErrConflict signals a First-Committer-Wins violation under SI: a
+	// concurrent transaction committed a newer version of a written key.
+	ErrConflict = fmt.Errorf("%w: first-committer-wins conflict", ErrAborted)
+	// ErrValidation signals a failed BOCC backward validation: a
+	// transaction that committed during our read phase wrote something we
+	// read.
+	ErrValidation = fmt.Errorf("%w: backward validation failed", ErrAborted)
+	// ErrDeadlock signals a wait-die kill under S2PL: a younger
+	// transaction requested a lock held by an older one.
+	ErrDeadlock = fmt.Errorf("%w: wait-die deadlock avoidance", ErrAborted)
+	// ErrFinished is returned when operating on a committed or aborted
+	// transaction handle.
+	ErrFinished = errors.New("txn: transaction already finished")
+	// ErrUnknownState is returned for tables not registered in a group.
+	ErrUnknownState = errors.New("txn: state not registered in any group")
+	// ErrTooManyTxns is returned when the active-transaction table is
+	// full.
+	ErrTooManyTxns = errors.New("txn: active transaction table full")
+)
+
+// IsAbort reports whether err indicates the transaction was aborted (for
+// any reason) and should be retried by the caller.
+func IsAbort(err error) bool { return errors.Is(err, ErrAborted) }
+
+// writeOp is one buffered, uncommitted modification.
+type writeOp struct {
+	value  []byte
+	delete bool
+}
+
+// stateEntry is a transaction's per-state bookkeeping: the status flag of
+// the consistency protocol plus the uncommitted write set ("dirty array"
+// in the paper's Figure 3).
+type stateEntry struct {
+	table  *Table
+	status Status
+	writes map[string]writeOp
+	// order preserves first-write order for deterministic batch layout.
+	order []string
+}
+
+func (e *stateEntry) write(key string, op writeOp) {
+	if _, seen := e.writes[key]; !seen {
+		e.order = append(e.order, key)
+	}
+	e.writes[key] = op
+}
+
+// Txn is a transaction handle. A Txn is owned by the goroutines of one
+// transaction context; the consistency protocol synchronizes the commit
+// hand-off internally, and operators of one stream query may call
+// CommitState from different goroutines. All other concurrent use of a
+// single Txn is not supported, matching the paper's model where a
+// transaction is one unit of stream progress.
+type Txn struct {
+	id   ID
+	slot int
+	ctx  *Context
+
+	// mu guards the per-state entries (status flags and write sets), the
+	// snapshot pins and the lock list. Operators of one stream query
+	// share the Txn from different goroutines: several TO_TABLE
+	// operators write and flag states concurrently, and one of them (or
+	// the Transactions operator, on rollback) may abort while another is
+	// still writing.
+	mu sync.Mutex
+
+	readOnly bool
+	// finished flips once at commit/abort; atomic so hot-path checks need
+	// no lock (mu is additionally held wherever finished is set together
+	// with dependent state).
+	finished atomic.Bool
+
+	// states tracks every state the transaction touched.
+	states map[StateID]*stateEntry
+
+	// readCTS pins the snapshot per topology group at first read
+	// (paper Section 4.2/4.3).
+	readCTS map[GroupID]Timestamp
+
+	// reads is the BOCC read set (keys per state); nil for other
+	// protocols.
+	reads map[StateID]map[string]struct{}
+
+	// startTS is the counter value at Begin; BOCC validates against
+	// transactions committed after it.
+	startTS Timestamp
+
+	// locks tracks S2PL lock ownership for release at commit/abort.
+	locks []lockRef
+
+	// pinnedOldest is what this transaction forces OldestActiveVersion
+	// to: the minimum snapshot it may still read. 0 = no pin yet. It is
+	// read concurrently by the GC horizon scan, hence atomic.
+	pinnedOldest atomic.Uint64
+
+	// done closes when the transaction finishes (commit or abort). The
+	// stream layer uses it to serialize the consecutive transactions of
+	// one continuous query: batch N+1 must not begin until batch N is
+	// decided, because the paper's model treats a stream query as a
+	// SEQUENCE of transactions, not a set of concurrent ones.
+	done chan struct{}
+}
+
+// Done returns a channel closed when the transaction has committed or
+// aborted.
+func (t *Txn) Done() <-chan struct{} { return t.done }
+
+// ID returns the transaction's logical timestamp identifier.
+func (t *Txn) ID() ID { return t.id }
+
+// ReadOnly reports whether the transaction was started read-only.
+func (t *Txn) ReadOnly() bool { return t.readOnly }
+
+func (t *Txn) entry(tbl *Table) *stateEntry {
+	e, ok := t.states[tbl.id]
+	if !ok {
+		e = &stateEntry{table: tbl, status: StatusActive, writes: make(map[string]writeOp)}
+		t.states[tbl.id] = e
+	}
+	return e
+}
+
+// Declare registers tables this transaction is going to access before it
+// commits, mirroring the paper's per-transaction "list of accessed
+// states" in the context (Figure 3). Declaration matters for the
+// consistency protocol in pipelined dataflows: the coordinator is
+// whoever flips the LAST state to Commit, so every state of the query
+// must be on the list before the first CommitState arrives — otherwise
+// an upstream TO_TABLE could commit the transaction before a downstream
+// operator ever saw it. stream.Transactions declares automatically.
+func (t *Txn) Declare(tables ...*Table) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.finished.Load() {
+		return ErrFinished
+	}
+	for _, tbl := range tables {
+		if tbl.group == nil {
+			return fmt.Errorf("%w: %q", ErrUnknownState, tbl.id)
+		}
+		t.entry(tbl)
+	}
+	return nil
+}
+
+// pin returns the snapshot timestamp to read table tbl at, pinning the
+// group's LastCTS on first contact. When the transaction has pinned
+// multiple groups that share states, the oldest pinned snapshot wins
+// (the paper's overlap rule: "the older version must be read").
+func (t *Txn) pin(tbl *Table) Timestamp {
+	g := tbl.group
+	rts, ok := t.readCTS[g.id]
+	if !ok {
+		// Store-then-validate: publish the GC pin, then confirm no commit
+		// slipped in between. A commit that computed its GC horizon before
+		// our pin became visible could reclaim versions still visible at
+		// rts — but any such commit publishes a LastCTS greater than rts,
+		// so re-reading LastCTS detects the race and we retry with the
+		// newer snapshot. On exit, every version with dts > rts is
+		// protected: commits whose horizon predates our pin have
+		// cts <= rts, and all later commits see the pin.
+		for {
+			rts = g.LastCTS()
+			if p := t.pinnedOldest.Load(); p == 0 || rts < p {
+				t.pinnedOldest.Store(rts)
+			}
+			if g.LastCTS() == rts {
+				break
+			}
+		}
+		t.readCTS[g.id] = rts
+	}
+	// Overlap rule: if any *other* pinned group contains this state, the
+	// effective snapshot is the minimum of the pins.
+	if len(t.readCTS) > 1 {
+		for gid, other := range t.readCTS {
+			if gid == g.id {
+				continue
+			}
+			og, found := t.ctx.group(gid)
+			if found && og.contains(tbl.id) && other < rts {
+				rts = other
+			}
+		}
+	}
+	return rts
+}
+
+// trackRead records key into the BOCC read set.
+func (t *Txn) trackRead(st StateID, key string) {
+	if t.reads == nil {
+		return
+	}
+	m, ok := t.reads[st]
+	if !ok {
+		m = make(map[string]struct{})
+		t.reads[st] = m
+	}
+	m[key] = struct{}{}
+}

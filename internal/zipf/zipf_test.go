@@ -1,0 +1,211 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("n=0", func() { NewParams(0, 1) })
+	mustPanic("theta<0", func() { NewParams(10, -0.1) })
+	mustPanic("uniform n=0", func() { NewUniform(0, 1) })
+}
+
+func TestParamsCached(t *testing.T) {
+	a := NewParams(1000, 1.5)
+	b := NewParams(1000, 1.5)
+	if a != b {
+		t.Fatal("expected cached Params pointer to be reused")
+	}
+	c := NewParams(1000, 1.6)
+	if a == c {
+		t.Fatal("different theta must not share Params")
+	}
+}
+
+func TestRangeAndDeterminism(t *testing.T) {
+	for _, theta := range []float64{0, 0.5, 0.99, 1, 1.5, 2, 2.9, 3} {
+		p := NewParams(10000, theta)
+		g1 := New(p, 42)
+		g2 := New(p, 42)
+		for i := 0; i < 20000; i++ {
+			v1, v2 := g1.Next(), g2.Next()
+			if v1 != v2 {
+				t.Fatalf("theta=%g: generators with same seed diverged at draw %d: %d vs %d", theta, i, v1, v2)
+			}
+			if v1 >= 10000 {
+				t.Fatalf("theta=%g: rank %d out of range", theta, v1)
+			}
+		}
+	}
+}
+
+func TestUniformWhenThetaZero(t *testing.T) {
+	const n, draws = 100, 200000
+	p := NewParams(n, 0)
+	g := New(p, 7)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	want := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.15 {
+			t.Errorf("rank %d: count %d deviates >15%% from uniform expectation %.0f", k, c, want)
+		}
+	}
+}
+
+// TestPaperContentionClaim verifies the paper's Section 5 statement that
+// theta = 2.9 corresponds to ~82% of accesses hitting the same key for a
+// 1M-key table.
+func TestPaperContentionClaim(t *testing.T) {
+	p := NewParams(1_000_000, 2.9)
+	mass := p.HottestKeyMass()
+	if mass < 0.80 || mass > 0.84 {
+		t.Fatalf("hottest-key mass for theta=2.9, n=1e6: got %.4f, paper says ~0.82", mass)
+	}
+	// And empirically.
+	g := New(p, 1)
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if g.Next() == 0 {
+			hits++
+		}
+	}
+	frac := float64(hits) / draws
+	if frac < 0.79 || frac > 0.85 {
+		t.Fatalf("empirical hottest-key fraction %.4f, want ~0.82", frac)
+	}
+}
+
+// TestHeadMatchesExactDistribution draws many samples and compares the
+// empirical frequencies of the top ranks against the exact probabilities.
+func TestHeadMatchesExactDistribution(t *testing.T) {
+	for _, theta := range []float64{0.5, 1, 1.5, 2.5} {
+		const n, draws = 50000, 300000
+		p := NewParams(n, theta)
+		g := New(p, 99)
+		counts := map[uint64]int{}
+		for i := 0; i < draws; i++ {
+			counts[g.Next()]++
+		}
+		for k := uint64(0); k < 5; k++ {
+			exact := math.Pow(float64(k+1), -theta) / p.zetan
+			got := float64(counts[k]) / draws
+			if exact > 0.01 && math.Abs(got-exact)/exact > 0.10 {
+				t.Errorf("theta=%g rank=%d: empirical %.4f vs exact %.4f", theta, k, got, exact)
+			}
+		}
+	}
+}
+
+// TestMonotoneMass checks the defining Zipf property: lower ranks are at
+// least as likely as higher ranks (over coarse buckets to tame noise).
+func TestMonotoneMass(t *testing.T) {
+	const n, draws = 1024, 400000
+	p := NewParams(n, 1.2)
+	g := New(p, 3)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Next()]++
+	}
+	bucket := func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += counts[i]
+		}
+		return s
+	}
+	prev := draws + 1
+	for lo := 0; lo < n; lo += 128 {
+		b := bucket(lo, lo+128)
+		if b > prev+draws/200 { // allow 0.5% noise
+			t.Fatalf("bucket starting at %d has mass %d > previous %d", lo, b, prev)
+		}
+		prev = b
+	}
+}
+
+// TestZetanAccuracy compares the tabulated+integral zeta against a direct
+// summation for moderate n.
+func TestZetanAccuracy(t *testing.T) {
+	for _, theta := range []float64{0.3, 0.9, 1, 1.7, 2.9} {
+		const n = 200000
+		exact := 0.0
+		for i := 1; i <= n; i++ {
+			exact += math.Pow(float64(i), -theta)
+		}
+		p := computeParams(n, theta)
+		if math.Abs(p.zetan-exact)/exact > 1e-3 {
+			t.Errorf("theta=%g: zetan %.6f vs exact %.6f", theta, p.zetan, exact)
+		}
+	}
+}
+
+// Property: every draw is in range, for arbitrary (n, theta, seed).
+func TestPropertyDrawsInRange(t *testing.T) {
+	f := func(nRaw uint32, thetaRaw uint8, seed int64) bool {
+		n := uint64(nRaw%100000) + 1
+		theta := float64(thetaRaw%31) / 10 // 0.0 .. 3.0
+		p := computeParams(n, theta)
+		g := NewWithRand(p, rand.New(rand.NewSource(seed)))
+		for i := 0; i < 200; i++ {
+			if g.Next() >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmallN(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3} {
+		p := computeParams(n, 2)
+		g := New(p, 5)
+		for i := 0; i < 100; i++ {
+			if v := g.Next(); v >= n {
+				t.Fatalf("n=%d: rank %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUniformGenerator(t *testing.T) {
+	u := NewUniform(50, 11)
+	seen := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		v := u.Next()
+		if v >= 50 {
+			t.Fatalf("out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatalf("expected all 50 ranks to appear, got %d", len(seen))
+	}
+}
+
+func BenchmarkZipfNext(b *testing.B) {
+	p := NewParams(1_000_000, 2.0)
+	g := New(p, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Next()
+	}
+}

@@ -1,0 +1,146 @@
+// Package sistream is a Go reproduction of "Snapshot Isolation for
+// Transactional Stream Processing" (Götze & Sattler, EDBT 2019): a
+// transactional stream processing library combining continuous queries,
+// shared queryable states (tables) with MVCC snapshot isolation, a
+// consistency protocol for multi-state transactions, and ad-hoc snapshot
+// queries — plus the S2PL and BOCC baselines the paper evaluates against
+// and a persistent LSM key-value store as the base table.
+//
+// The façade re-exports the user-facing API of the internal packages:
+//
+//	sistream.NewContext / CreateTable / CreateGroup  state management
+//	sistream.NewSI / NewS2PL / NewBOCC               protocols
+//	sistream.NewTopology + Stream operators          dataflow queries
+//	sistream.OpenLSM / NewMemStore                   base tables
+//
+// A minimal write-then-query program:
+//
+//	store := sistream.NewMemStore()
+//	ctx := sistream.NewContext()
+//	tbl, _ := ctx.CreateTable("events", store, sistream.TableOptions{})
+//	ctx.CreateGroup("g", tbl)
+//	p := sistream.NewSI(ctx)
+//	tx, _ := p.Begin()
+//	p.Write(tx, tbl, "k", []byte("v"))
+//	p.Commit(tx)
+//	rows, _ := sistream.TableSnapshot(p, tbl)
+//
+// See examples/ for complete programs and DESIGN.md for the architecture.
+package sistream
+
+import (
+	"sistream/internal/kv"
+	"sistream/internal/lsm"
+	"sistream/internal/stream"
+	"sistream/internal/txn"
+)
+
+// Transactional state management (the paper's Section 4).
+type (
+	// Context is the global state context: registry of states, topology
+	// groups and active transactions, plus the logical clock.
+	Context = txn.Context
+	// Table is a transactional, multi-versioned, queryable state.
+	Table = txn.Table
+	// TableOptions configures version slots and commit durability.
+	TableOptions = txn.TableOptions
+	// Group is a topology group whose states commit atomically together.
+	Group = txn.Group
+	// Txn is a transaction handle.
+	Txn = txn.Txn
+	// Protocol is the common interface of the concurrency-control
+	// protocols (SI, S2PL, BOCC).
+	Protocol = txn.Protocol
+	// StateID names a state; GroupID names a topology group.
+	StateID = txn.StateID
+	// GroupID names a topology group.
+	GroupID = txn.GroupID
+	// Timestamp is the logical commit timestamp.
+	Timestamp = txn.Timestamp
+)
+
+// Dataflow (the paper's Section 3 transaction model for streams).
+type (
+	// Topology is a dataflow query graph.
+	Topology = stream.Topology
+	// Stream is one dataflow edge.
+	Stream = stream.Stream
+	// Element is a data tuple or transaction punctuation.
+	Element = stream.Element
+	// Tuple is a stream data record.
+	Tuple = stream.Tuple
+	// Kind discriminates data from punctuations.
+	Kind = stream.Kind
+	// AggFunc folds a window of samples.
+	AggFunc = stream.AggFunc
+	// TableKey addresses one point read of QueryKeys.
+	TableKey = stream.TableKey
+	// KV is one row of a snapshot query result.
+	KV = stream.KV
+)
+
+// Base tables.
+type (
+	// Store is the key-value base-table interface.
+	Store = kv.Store
+	// LSMOptions configures the persistent store.
+	LSMOptions = lsm.Options
+)
+
+// Element kinds (transaction boundary punctuations).
+const (
+	KindData     = stream.KindData
+	KindBOT      = stream.KindBOT
+	KindCommit   = stream.KindCommit
+	KindRollback = stream.KindRollback
+)
+
+// Re-exported constructors and helpers.
+var (
+	// NewContext creates an empty state context.
+	NewContext = txn.NewContext
+	// NewSI creates the paper's MVCC snapshot-isolation protocol.
+	NewSI = txn.NewSI
+	// NewS2PL creates the strict two-phase locking baseline.
+	NewS2PL = txn.NewS2PL
+	// NewBOCC creates the optimistic (backward validation) baseline.
+	NewBOCC = txn.NewBOCC
+	// IsAbort reports whether an error is a retryable transaction abort.
+	IsAbort = txn.IsAbort
+
+	// NewTopology creates an empty dataflow query.
+	NewTopology = stream.New
+	// MergeStreams fans several streams into one.
+	MergeStreams = stream.Merge
+	// ToStream is the TO_STREAM linking operator (per-commit trigger).
+	ToStream = stream.ToStream
+	// TableSnapshot is the ad-hoc FROM(table) snapshot query.
+	TableSnapshot = stream.TableSnapshot
+	// QueryKeys runs point reads under one read-only transaction.
+	QueryKeys = stream.QueryKeys
+	// DataElement wraps a tuple into a stream element.
+	DataElement = stream.DataElement
+	// Punctuation constructs a control element.
+	Punctuation = stream.Punctuation
+
+	// NewMemStore creates a volatile in-memory base table.
+	NewMemStore = func() Store { return kv.NewMem() }
+	// OpenLSM opens (creating if needed) a persistent LSM base table.
+	OpenLSM = func(dir string, opts LSMOptions) (Store, error) { return lsm.Open(dir, opts) }
+
+	// Window aggregate functions.
+	Sum   = stream.Sum
+	Avg   = stream.Avg
+	Min   = stream.Min
+	Max   = stream.Max
+	Count = stream.Count
+)
+
+// Errors re-exported for callers handling abort/retry loops.
+var (
+	ErrAborted    = txn.ErrAborted
+	ErrConflict   = txn.ErrConflict
+	ErrValidation = txn.ErrValidation
+	ErrDeadlock   = txn.ErrDeadlock
+	ErrFinished   = txn.ErrFinished
+)
