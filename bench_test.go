@@ -15,9 +15,13 @@
 package sistream_test
 
 import (
+	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"sistream"
 	"sistream/internal/bench"
 )
 
@@ -191,6 +195,68 @@ func BenchmarkAblationMultiWriter(b *testing.B) {
 				cell(b, cfg)
 			})
 		}
+	}
+}
+
+// BenchmarkCommitContended measures the SI commit path under commit-side
+// contention: N goroutines each run single-key blind-write transactions
+// against one table of one topology group with synchronous durability, so
+// every commit funnels through the group's commit pipeline. Per-goroutine
+// keys never FCW-conflict; the contended resource is the commit path
+// itself (timestamping, the WAL fsync, version install, LastCTS publish).
+// ns/op is wall time per committed transaction.
+func BenchmarkCommitContended(b *testing.B) {
+	for _, workers := range []int{1, 8, 16} {
+		b.Run("goroutines="+itoa(workers), func(b *testing.B) {
+			store, err := sistream.OpenLSM(b.TempDir(), sistream.LSMOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			ctx := sistream.NewContext()
+			tbl, err := ctx.CreateTable("state", store, sistream.TableOptions{SyncCommits: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ctx.CreateGroup("g", tbl); err != nil {
+				b.Fatal(err)
+			}
+			p := sistream.NewSI(ctx)
+			val := []byte("01234567890123456789")
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					key := fmt.Sprintf("k%d", w)
+					for next.Add(1) <= int64(b.N) {
+						tx, err := p.Begin()
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						if err := p.Write(tx, tbl, key, val); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := p.Commit(tx); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(b.N)/secs, "commits/s")
+			}
+			if txns, batches := tbl.Group().CommitStats(); batches > 0 {
+				b.ReportMetric(float64(txns)/float64(batches), "txns/batch")
+			}
+		})
 	}
 }
 

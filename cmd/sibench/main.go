@@ -8,6 +8,7 @@
 //	sibench -figure 4                    # both Figure 4 panels
 //	sibench -claim c1|c2|c3              # Section 5 prose claims
 //	sibench -cell -protocol mvcc -theta 2 -readers 24   # one cell
+//	sibench -scaling                     # commit-path scaling: writers 1..16
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
@@ -29,6 +30,7 @@ func main() {
 		figure    = flag.Int("figure", 0, "reproduce figure 4 (both panels)")
 		claim     = flag.String("claim", "", "reproduce a Section 5 claim: c1, c2 or c3")
 		cell      = flag.Bool("cell", false, "run a single cell with the flags below")
+		scaling   = flag.Bool("scaling", false, "sweep concurrent writers to show group-commit scaling")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
 		backend   = flag.String("backend", "lsm", "mem | lsm")
 		dir       = flag.String("dir", "", "LSM data directory (default: temp)")
@@ -77,6 +79,8 @@ func main() {
 	switch {
 	case *figure == 4:
 		runFigure4(base, dirFor, *csv)
+	case *scaling:
+		runScaling(base, dirFor, *csv)
 	case *claim != "":
 		runClaim(*claim, base, dirFor)
 	case *cell:
@@ -118,6 +122,36 @@ func runFigure4(base bench.Config, dirFor func(string, float64) string, csv bool
 				readers, cfg.TableSize, cfg.TxnOps, cfg.Sync, cfg.Backend, cfg.Duration)
 			bench.PrintFigure(os.Stdout, title, results)
 			fmt.Println()
+		}
+	}
+	if csv {
+		bench.PrintCSV(os.Stdout, all)
+	}
+}
+
+// runScaling sweeps the number of concurrent writer queries at fixed
+// contention to show how the group-commit pipeline scales the commit
+// path: throughput should rise with writers while the commit fan-in
+// (transactions per leader batch, i.e. per fsync) grows.
+func runScaling(base bench.Config, dirFor func(string, float64) string, csv bool) {
+	var all []bench.Result
+	if !csv {
+		fmt.Printf("Commit-path scaling: %s, readers=%d, theta=%.2f, sync=%t, backend=%s\n",
+			base.Protocol, base.Readers, base.Theta, base.Sync, base.Backend)
+		fmt.Printf("%-10s %14s %14s %12s %12s\n", "writers", "writer-tps", "total-tps", "fan-in", "abort-rate")
+	}
+	for _, writers := range []int{1, 2, 4, 8, 16} {
+		cfg := base
+		cfg.Writers = writers
+		cfg.Dir = dirFor("scaling", float64(writers))
+		res, err := bench.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		all = append(all, res)
+		if !csv {
+			fmt.Printf("%-10d %14.1f %14.1f %12.2f %11.1f%%\n",
+				writers, res.WriterTps, res.TotalTps, res.CommitFanIn(), res.AbortRate()*100)
 		}
 	}
 	if csv {

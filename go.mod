@@ -1,0 +1,3 @@
+module sistream
+
+go 1.24

@@ -134,6 +134,22 @@ type Result struct {
 
 	// Violations counts consistency-check failures (must stay 0).
 	Violations int64
+
+	// CommitTxns / CommitBatches are the group-commit pipeline counters:
+	// transactions globally committed and the leader batches that carried
+	// them. Their ratio is the achieved commit fan-in (1.0 = every commit
+	// paid its own store batch and fsync; higher = amortization).
+	CommitTxns    uint64
+	CommitBatches uint64
+}
+
+// CommitFanIn returns transactions per group-commit batch (0 when no
+// transaction committed).
+func (r Result) CommitFanIn() float64 {
+	if r.CommitBatches == 0 {
+		return 0
+	}
+	return float64(r.CommitTxns) / float64(r.CommitBatches)
 }
 
 // AbortRate returns aborted / started transactions over all workers.

@@ -63,14 +63,14 @@ func PrintFigure(w io.Writer, title string, results []Result) {
 func PrintCSV(w io.Writer, results []Result) {
 	fmt.Fprintln(w, "protocol,backend,readers,writers,theta,table_size,txn_ops,sync,duration_s,"+
 		"total_tps,reader_tps,writer_tps,reader_commits,reader_aborts,writer_commits,writer_aborts,"+
-		"abort_rate,read_p50_ns,read_p99_ns,commit_p50_ns,commit_p99_ns,violations")
+		"abort_rate,read_p50_ns,read_p99_ns,commit_p50_ns,commit_p99_ns,violations,commit_fan_in")
 	for _, r := range results {
 		c := r.Config
-		fmt.Fprintf(w, "%s,%s,%d,%d,%g,%d,%d,%t,%.2f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d\n",
+		fmt.Fprintf(w, "%s,%s,%d,%d,%g,%d,%d,%t,%.2f,%.1f,%.1f,%.1f,%d,%d,%d,%d,%.4f,%d,%d,%d,%d,%d,%.2f\n",
 			c.Protocol, c.Backend, c.Readers, c.Writers, c.Theta, c.TableSize, c.TxnOps, c.Sync,
 			r.Elapsed.Seconds(), r.TotalTps, r.ReaderTps, r.WriterTps,
 			r.ReaderCommits, r.ReaderAborts, r.WriterCommits, r.WriterAborts,
-			r.AbortRate(), r.ReadP50, r.ReadP99, r.CommitP50, r.CommitP99, r.Violations)
+			r.AbortRate(), r.ReadP50, r.ReadP99, r.CommitP50, r.CommitP99, r.Violations, r.CommitFanIn())
 	}
 }
 
@@ -84,6 +84,7 @@ func PrintResult(w io.Writer, r Result) {
 	fmt.Fprintf(w, "  aborts     reader=%d writer=%d (rate %.2f%%)\n", r.ReaderAborts, r.WriterAborts, r.AbortRate()*100)
 	fmt.Fprintf(w, "  read lat   p50=%v p99=%v\n", time.Duration(r.ReadP50), time.Duration(r.ReadP99))
 	fmt.Fprintf(w, "  commit lat p50=%v p99=%v\n", time.Duration(r.CommitP50), time.Duration(r.CommitP99))
+	fmt.Fprintf(w, "  group ci   %d txns in %d batches (fan-in %.2f)\n", r.CommitTxns, r.CommitBatches, r.CommitFanIn())
 	if r.Config.CheckConsistency {
 		fmt.Fprintf(w, "  consistency violations: %d\n", r.Violations)
 	}

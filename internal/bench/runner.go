@@ -69,6 +69,7 @@ func Run(cfg Config) (Result, error) {
 
 	// --- transactional setup ----------------------------------------------
 	ctx := txn.NewContext()
+	var group *txn.Group
 	tables := make([]*txn.Table, cfg.States)
 	for s := 0; s < cfg.States; s++ {
 		t, err := ctx.CreateTable(txn.StateID(fmt.Sprintf("state%d", s)), store, txn.TableOptions{
@@ -80,9 +81,11 @@ func Run(cfg Config) (Result, error) {
 		}
 		tables[s] = t
 	}
-	if _, err := ctx.CreateGroup("bench", tables...); err != nil {
+	g, err := ctx.CreateGroup("bench", tables...)
+	if err != nil {
 		return Result{}, err
 	}
+	group = g
 	var p txn.Protocol
 	switch cfg.Protocol {
 	case "mvcc":
@@ -259,6 +262,7 @@ func Run(cfg Config) (Result, error) {
 		CommitP99:     commitLat.Quantile(0.99),
 		Violations:    violations.Load(),
 	}
+	res.CommitTxns, res.CommitBatches = group.CommitStats()
 	secs := elapsed.Seconds()
 	res.ReaderTps = float64(res.ReaderCommits) / secs
 	res.WriterTps = float64(res.WriterCommits) / secs

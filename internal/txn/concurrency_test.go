@@ -2,13 +2,11 @@ package txn
 
 import (
 	"encoding/binary"
-	"math/rand"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
-
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 // protocolsUnderTest builds one instance of each protocol over a fresh
 // environment.
@@ -37,54 +35,43 @@ func TestNoTornMultiStateReads(t *testing.T) {
 			p.Write(seedTx, e.t2, "seq", encodeU64(0))
 			mustCommit(t, p, seedTx)
 
-			stop := make(chan struct{})
 			var torn, committedReads, abortedReads int64
 			var mu sync.Mutex
-			var wg sync.WaitGroup
 
-			for r := 0; r < 4; r++ {
-				wg.Add(1)
-				go func() {
-					defer wg.Done()
-					for {
-						select {
-						case <-stop:
-							return
-						default:
-						}
-						tx, err := p.BeginReadOnly()
-						if err != nil {
-							t.Error(err)
-							return
-						}
-						v1, ok1, err1 := p.Read(tx, e.t1, "seq")
-						if err1 != nil {
-							p.Abort(tx)
-							continue
-						}
-						v2, ok2, err2 := p.Read(tx, e.t2, "seq")
-						if err2 != nil {
-							p.Abort(tx)
-							continue
-						}
-						a := append([]byte(nil), v1...)
-						b := append([]byte(nil), v2...)
-						err = p.Commit(tx)
-						mu.Lock()
-						if err == nil {
-							committedReads++
-							if !ok1 || !ok2 || decodeU64(a) != decodeU64(b) {
-								torn++
-							}
-						} else if IsAbort(err) {
-							abortedReads++
-						} else {
-							t.Error(err)
-						}
-						mu.Unlock()
+			h := newHammer(t)
+			h.spawn(4, func(int) bool {
+				tx, err := p.BeginReadOnly()
+				if err != nil {
+					t.Error(err)
+					return false
+				}
+				v1, ok1, err1 := p.Read(tx, e.t1, "seq")
+				if err1 != nil {
+					p.Abort(tx)
+					return true
+				}
+				v2, ok2, err2 := p.Read(tx, e.t2, "seq")
+				if err2 != nil {
+					p.Abort(tx)
+					return true
+				}
+				a := append([]byte(nil), v1...)
+				b := append([]byte(nil), v2...)
+				err = p.Commit(tx)
+				mu.Lock()
+				if err == nil {
+					committedReads++
+					if !ok1 || !ok2 || decodeU64(a) != decodeU64(b) {
+						torn++
 					}
-				}()
-			}
+				} else if IsAbort(err) {
+					abortedReads++
+				} else {
+					t.Error(err)
+				}
+				mu.Unlock()
+				return true
+			})
 
 			// Writer: monotonically bump both states in one transaction.
 			// Run until the readers have demonstrably made progress (the
@@ -127,8 +114,7 @@ func TestNoTornMultiStateReads(t *testing.T) {
 					}
 				}
 			}
-			close(stop)
-			wg.Wait()
+			h.finish()
 
 			if torn > 0 {
 				t.Fatalf("%d torn multi-state reads (of %d committed)", torn, committedReads)
@@ -151,39 +137,27 @@ func TestSIReadersNeverAbortNeverBlock(t *testing.T) {
 	p.Write(seedTx, e.t1, "k", []byte("0"))
 	mustCommit(t, p, seedTx)
 
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for r := 0; r < 4; r++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				tx, err := p.BeginReadOnly()
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				if _, _, err := p.Read(tx, e.t1, "k"); err != nil {
-					t.Errorf("SI reader hit error: %v", err)
-					return
-				}
-				if err := p.Commit(tx); err != nil {
-					t.Errorf("SI reader aborted: %v", err)
-					return
-				}
-			}
-		}()
-	}
+	h := newHammer(t)
+	h.spawn(4, func(int) bool {
+		tx, err := p.BeginReadOnly()
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		if _, _, err := p.Read(tx, e.t1, "k"); err != nil {
+			t.Errorf("SI reader hit error: %v", err)
+			return false
+		}
+		if err := p.Commit(tx); err != nil {
+			t.Errorf("SI reader aborted: %v", err)
+			return false
+		}
+		return true
+	})
 	for i := 0; i < 500; i++ {
 		write(t, p, e.t1, "k", "v")
 	}
-	close(stop)
-	wg.Wait()
+	h.finish()
 }
 
 // TestConcurrentCommitStateCoordination drives the consistency protocol
@@ -295,48 +269,37 @@ func TestHotKeyChurnWithPinnedReaders(t *testing.T) {
 	p := NewSI(e.ctx)
 	write(t, p, e.t1, "hot", "init")
 
-	stop := make(chan struct{})
-	var wg sync.WaitGroup
-	for r := 0; r < 3; r++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			rng := newRand(seed)
-			for {
-				select {
-				case <-stop:
-					return
-				default:
-				}
-				tx, err := p.BeginReadOnly()
-				if err != nil {
-					t.Error(err)
-					return
-				}
-				v1, ok, err := p.Read(tx, e.t1, "hot")
-				if err != nil || !ok {
-					t.Errorf("first read: %v %v", ok, err)
-					return
-				}
-				first := append([]byte(nil), v1...)
-				// Hold the snapshot a while, then re-read: must be identical.
-				time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
-				v2, ok, err := p.Read(tx, e.t1, "hot")
-				if err != nil || !ok {
-					t.Errorf("re-read: %v %v", ok, err)
-					return
-				}
-				if string(first) != string(v2) {
-					t.Errorf("snapshot drifted: %q -> %q", first, v2)
-					return
-				}
-				if err := p.Commit(tx); err != nil {
-					t.Error(err)
-					return
-				}
-			}
-		}(int64(r))
-	}
+	h := newHammer(t)
+	var iter atomic.Int64
+	h.spawn(3, func(int) bool {
+		tx, err := p.BeginReadOnly()
+		if err != nil {
+			t.Error(err)
+			return false
+		}
+		v1, ok, err := p.Read(tx, e.t1, "hot")
+		if err != nil || !ok {
+			t.Errorf("first read: %v %v", ok, err)
+			return false
+		}
+		first := append([]byte(nil), v1...)
+		// Hold the snapshot a while, then re-read: must be identical.
+		time.Sleep(time.Duration(iter.Add(1)%3) * time.Millisecond)
+		v2, ok, err := p.Read(tx, e.t1, "hot")
+		if err != nil || !ok {
+			t.Errorf("re-read: %v %v", ok, err)
+			return false
+		}
+		if string(first) != string(v2) {
+			t.Errorf("snapshot drifted: %q -> %q", first, v2)
+			return false
+		}
+		if err := p.Commit(tx); err != nil {
+			t.Error(err)
+			return false
+		}
+		return true
+	})
 	for i := 0; i < 2000; i++ {
 		// Retry loop: with pinned reader snapshots holding the GC horizon
 		// back, a hot key's version array can fill up; the writer then
@@ -359,8 +322,7 @@ func TestHotKeyChurnWithPinnedReaders(t *testing.T) {
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
-	close(stop)
-	wg.Wait()
+	h.finish()
 }
 
 func encodeU64(v uint64) []byte {

@@ -3,6 +3,7 @@ package txn
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"sistream/internal/kv"
 )
@@ -210,35 +211,364 @@ func sortedEntries(tx *Txn) []*stateEntry {
 	return out
 }
 
+// commitReq is one validated transaction parked on a group's commit
+// queue. err is written by the batch leader before it closes ready and
+// read by the owning goroutine only after ready is closed, so the channel
+// orders the accesses.
+type commitReq struct {
+	tx      *Txn
+	admit   func(ov *commitOverlay) error
+	entries []*stateEntry // filled by the leader once admitted
+	cts     Timestamp
+	err     error
+	// promoted marks a leadership handoff instead of a decision: the
+	// retiring leader closes ready with promoted set, and the owner —
+	// whose request is still pending — leads the next batch itself.
+	promoted bool
+	ready    chan struct{}
+}
+
+// commitOverlay exposes the writes admitted earlier in the same
+// group-commit batch. Admission checks (First-Committer-Wins) must see
+// those writes even though their versions are not installed yet —
+// otherwise two same-batch writers of one key would both pass. Outside a
+// batch (multi-group slow path) the overlay is nil and latestCTS falls
+// back to the installed version store alone.
+type commitOverlay struct {
+	pending map[*Table]map[string]Timestamp
+}
+
+// latestCTS returns the newest commit timestamp of key in tbl, combining
+// installed versions with writes admitted earlier in this batch.
+func (ov *commitOverlay) latestCTS(tbl *Table, key string) Timestamp {
+	var latest Timestamp
+	if o := tbl.object(key, false); o != nil {
+		latest = o.LatestCTS()
+	}
+	if ov != nil {
+		if ts := ov.pending[tbl][key]; ts > latest {
+			latest = ts
+		}
+	}
+	return latest
+}
+
+// record notes an admitted write at cts for later admission checks in the
+// same batch.
+func (ov *commitOverlay) record(tbl *Table, key string, cts Timestamp) {
+	if ov.pending == nil {
+		ov.pending = make(map[*Table]map[string]Timestamp)
+	}
+	m := ov.pending[tbl]
+	if m == nil {
+		m = make(map[string]Timestamp)
+		ov.pending[tbl] = m
+	}
+	m[key] = cts
+}
+
 // installCommit is the coordinator's global commit, shared by all
-// protocols. It runs under the commit latches of every involved group:
-//
-//  1. admit: the protocol-specific admission check (First-Committer-Wins
-//     for SI, backward validation for BOCC, nothing for S2PL). Returning
-//     an error aborts with no state modified.
-//  2. draw the commit timestamp and persist one batch per base store —
-//     rows plus the LastCTS watermark — synchronously when any table
-//     demands it (failure atomicity). A failed store aborts cleanly: no
-//     in-memory state has changed yet.
-//  3. install all versions in memory (cannot fail: version arrays grow
-//     on demand and commits per group are serialized by the latch).
-//  4. publish LastCTS on every involved group: the single atomic store
-//     that makes the transaction visible, completely or not at all.
-//
-// The caller (via commitState/commitAll) has already established that it
-// is the coordinator.
-func (p *protocolBase) installCommit(tx *Txn, admit func() error) error {
+// protocols. Transactions whose states all belong to one topology group —
+// the continuous-query common case — go through the group-commit pipeline
+// (groupCommit); transactions spanning groups take the slow path under
+// the commit latches of every involved group (multiGroupCommit). The
+// caller (via commitState/commitAll) has already established that it is
+// the coordinator.
+func (p *protocolBase) installCommit(tx *Txn, admit func(*commitOverlay) error) error {
 	groups := txGroups(tx)
-	if len(groups) == 0 {
+	switch len(groups) {
+	case 0:
 		// Nothing written (read-only or empty transaction).
 		p.finish(tx)
 		return nil
+	case 1:
+		return p.groupCommit(groups[0], tx, admit)
 	}
+	return p.multiGroupCommit(groups, tx, admit)
+}
+
+// groupCommitLinger bounds how long a batch leader collects followers for
+// the next batch once commit pressure is established. The collection is
+// wake-driven — each enqueue nudges the leader, and it stops as soon as
+// the queue has reached the previous batch's size — so under steady
+// pressure the timer never fires; it is the fallback that bounds the wait
+// when the offered load drops below the previous batch size.
+const groupCommitLinger = 200 * time.Microsecond
+
+// groupCommit runs the group-commit pipeline for a transaction confined
+// to one topology group. The committer enqueues its validated request; if
+// a batch leader is already active the committer nudges it (wake) and
+// parks on the request's ready channel — either the leader commits the
+// request in its batch, or it hands the parked committer the leadership
+// baton on retirement (promoted). Otherwise the committer claims
+// leadership itself. A leader's tenure is exactly ONE batch (leadGroup),
+// so a committer is never conscripted into serving other transactions
+// indefinitely — in particular an S2PL committer's row locks are released
+// after one batch, as with the original per-commit latch.
+func (p *protocolBase) groupCommit(g *Group, tx *Txn, admit func(*commitOverlay) error) error {
+	req := &commitReq{tx: tx, admit: admit, ready: make(chan struct{})}
+	g.qmu.Lock()
+	g.pending = append(g.pending, req)
+	if g.leaderActive {
+		g.qmu.Unlock()
+		// Nudge a collecting leader. The send never blocks (capacity 1);
+		// a stale token at worst costs the leader one extra queue check.
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+		<-req.ready
+		if !req.promoted {
+			return req.err
+		}
+		// Retiring leader handed us the baton: our request is still
+		// pending, so lead the batch that will contain it.
+		req.promoted = false
+		req.ready = make(chan struct{})
+	} else {
+		g.leaderActive = true
+		g.qmu.Unlock()
+	}
+
+	p.leadGroup(g)
+	// The leader's own request was part of the batch it led; err is set
+	// (and ready closed) by leaderCommit.
+	return req.err
+}
+
+// leadGroup serves one leader tenure: collect a batch, commit it, then
+// hand leadership to a parked committer (if any are pending) or release
+// it. The claimant's own request is always in the queue, so the drained
+// batch is never empty.
+//
+// Batch formation is adaptive: the previous batch's size (g.batchTarget,
+// leader-owned under commitMu) estimates the number of concurrently
+// active committers, and the leader collects arrivals until the queue
+// reaches that estimate — parking between wakes, so unrelated goroutines
+// keep the CPU — or the linger timer expires. A lone committer (previous
+// batch of one) never collects and never pays the linger. Leadership is
+// released only with the queue observably empty (checked under qmu), so
+// no request is ever stranded: an enqueuer that finds no active leader IS
+// the leader for the batch containing its request, and a retiring leader
+// that leaves requests behind promotes one of their owners.
+func (p *protocolBase) leadGroup(g *Group) {
+	g.commitMu.Lock()
+	if g.batchTarget > 1 {
+		// Collect up to the previous batch's size before draining.
+		timer := time.NewTimer(groupCommitLinger)
+	collect:
+		for {
+			g.qmu.Lock()
+			n := len(g.pending)
+			g.qmu.Unlock()
+			if n >= g.batchTarget {
+				break
+			}
+			select {
+			case <-g.wake:
+			case <-timer.C:
+				break collect
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+	g.qmu.Lock()
+	batch := g.pending
+	g.pending = nil
+	g.qmu.Unlock()
+	// Drain a stale wake token so the next tenure's collection starts
+	// clean.
+	select {
+	case <-g.wake:
+	default:
+	}
+	g.batchTarget = len(batch)
+	p.leaderCommit(g, batch)
+
+	// Retire: pass the baton to a parked committer, or release.
+	g.qmu.Lock()
+	if len(g.pending) > 0 {
+		next := g.pending[0]
+		next.promoted = true
+		close(next.ready)
+	} else {
+		g.leaderActive = false
+	}
+	g.qmu.Unlock()
+	g.commitMu.Unlock()
+}
+
+// leaderCommit commits one batch of enqueued transactions. Caller holds
+// g.commitMu. The pipeline:
+//
+//  1. snapshot the GC horizon, then reserve a contiguous commit-timestamp
+//     range — one timestamp per request, assigned in arrival order. The
+//     horizon is taken BEFORE the range, so every version this batch
+//     terminates has dts greater than the horizon and can never be
+//     reclaimed by the batch's own installs (see Txn.pin).
+//  2. admit each request in arrival order against a batch overlay so
+//     First-Committer-Wins sees writes of earlier same-batch admissions;
+//     a rejected request aborts immediately with no state modified.
+//  3. durability: ONE coalesced batch per distinct base store — all
+//     admitted rows plus one LastCTS watermark per touched table — with a
+//     single (optionally synchronous) Apply. This is where group commit
+//     pays: N transactions share one fsync. A failed store aborts the
+//     whole batch; nothing was installed yet, so memory is untouched and
+//     partially persisted stores reconcile at recovery via the watermark
+//     (see CreateGroup).
+//  4. install all versions in commit-timestamp order (cannot fail:
+//     version arrays grow on demand and installers of one group are
+//     serialized by the latch).
+//  5. publish LastCTS once for the batch — the single atomic store that
+//     makes every member transaction visible, completely or not at all —
+//     then notify watchers per transaction in commit order.
+func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
+	horizon := p.ctx.OldestActiveVersion()
+	n := uint64(len(batch))
+	base := p.ctx.counter.Add(n) - n
+
+	// Phase 2: admission in arrival order.
+	var (
+		admitted []*commitReq
+		overlay  commitOverlay
+		maxCTS   Timestamp
+	)
+	for i, req := range batch {
+		if req.admit != nil {
+			if err := req.admit(&overlay); err != nil {
+				req.err = err
+				p.abortLocked(req.tx)
+				close(req.ready)
+				continue
+			}
+		}
+		req.cts = base + uint64(i) + 1
+		req.entries = sortedEntries(req.tx)
+		if i+1 < len(batch) {
+			// Later requests in this batch must see these writes in
+			// their admission check; the final request has no successors,
+			// so recording its writes would be dead work.
+			for _, e := range req.entries {
+				for _, key := range e.order {
+					overlay.record(e.table, key, req.cts)
+				}
+			}
+		}
+		admitted = append(admitted, req)
+		maxCTS = req.cts
+	}
+	if len(admitted) == 0 {
+		return
+	}
+
+	// Phase 3: durability, one coalesced batch per distinct base store.
+	type storeBatch struct {
+		store kv.Store
+		batch *kv.Batch
+		sync  bool
+	}
+	var (
+		batches []*storeBatch
+		byStore = map[kv.Store]*storeBatch{}
+		tables  []*Table
+		seenTbl = map[*Table]bool{}
+	)
+	for _, req := range admitted {
+		for _, e := range req.entries {
+			sb, ok := byStore[e.table.store]
+			if !ok {
+				sb = &storeBatch{store: e.table.store, batch: kv.NewBatch(len(e.order) + 1)}
+				byStore[e.table.store] = sb
+				batches = append(batches, sb)
+			}
+			for _, key := range e.order {
+				op := e.writes[key]
+				if op.delete {
+					sb.batch.Delete(e.table.rowKey(key))
+				} else {
+					sb.batch.Put(e.table.rowKey(key), op.value)
+				}
+			}
+			if e.table.opts.SyncCommits {
+				sb.sync = true
+			}
+			if !seenTbl[e.table] {
+				seenTbl[e.table] = true
+				tables = append(tables, e.table)
+			}
+		}
+	}
+	// One watermark per touched table: everything below maxCTS in this
+	// store is durable together with it.
+	for _, tbl := range tables {
+		byStore[tbl.store].batch.Put(tbl.metaKey(), encodeTS(maxCTS))
+	}
+	for _, sb := range batches {
+		if err := sb.store.Apply(sb.batch, sb.sync); err != nil {
+			err = fmt.Errorf("txn: commit durability: %w", err)
+			for _, req := range admitted {
+				req.err = err
+				p.abortLocked(req.tx)
+				close(req.ready)
+			}
+			return
+		}
+	}
+
+	// Phase 4: in-memory version install, ascending commit timestamps.
+	for _, req := range admitted {
+		for _, e := range req.entries {
+			for _, key := range e.order {
+				op := e.writes[key]
+				if err := e.table.object(key, true).Install(req.cts, op.value, op.delete, horizon); err != nil {
+					panic(fmt.Sprintf("txn: install invariant violated: %v", err))
+				}
+			}
+		}
+	}
+
+	// Phase 5: atomic visibility for the whole batch, then per-commit
+	// watcher notifications (TO_STREAM triggers) in commit order.
+	g.lastCTS.Store(maxCTS)
+	g.commitTxns.Add(uint64(len(admitted)))
+	g.commitBatches.Add(1)
+	for _, req := range admitted {
+		var writes map[StateID][]string
+		for _, e := range req.entries {
+			if len(e.order) == 0 {
+				continue
+			}
+			if writes == nil {
+				writes = make(map[StateID][]string)
+			}
+			writes[e.table.id] = e.order
+		}
+		if writes != nil {
+			g.notify(req.cts, writes)
+		}
+		p.finish(req.tx)
+		close(req.ready)
+	}
+}
+
+// multiGroupCommit is the slow path for transactions spanning topology
+// groups: it takes the commit latch of every involved group in canonical
+// ID order (quiescing their pipelines — a leader holds its group's latch
+// for the whole batch) and commits the single transaction exactly as the
+// original protocol did: admit, one durability batch per store, install,
+// then one LastCTS publish per group so the cross-group commit is
+// all-or-nothing for snapshot readers of any involved group.
+func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*commitOverlay) error) error {
 	lockGroups(groups)
 	defer unlockGroups(groups)
 
 	if admit != nil {
-		if err := admit(); err != nil {
+		if err := admit(nil); err != nil {
 			p.abortLocked(tx)
 			return err
 		}
@@ -249,9 +579,9 @@ func (p *protocolBase) installCommit(tx *Txn, admit func() error) error {
 
 	cts := p.ctx.next()
 
-	// Phase 2: durability, one batch per distinct base store. Durability
-	// precedes the in-memory install so a failed store leaves no memory
-	// state behind: the transaction aborts as if it never happened.
+	// Durability precedes the in-memory install so a failed store leaves
+	// no memory state behind: the transaction aborts as if it never
+	// happened.
 	type storeBatch struct {
 		store kv.Store
 		batch *kv.Batch
@@ -290,7 +620,7 @@ func (p *protocolBase) installCommit(tx *Txn, admit func() error) error {
 		}
 	}
 
-	// Phase 3: in-memory version install.
+	// In-memory version install.
 	for _, e := range entries {
 		for _, key := range e.order {
 			op := e.writes[key]
@@ -300,13 +630,12 @@ func (p *protocolBase) installCommit(tx *Txn, admit func() error) error {
 		}
 	}
 
-	// Phase 4: atomic visibility.
+	// Atomic visibility, then commit watchers per group.
 	for _, g := range groups {
 		g.lastCTS.Store(cts)
+		g.commitTxns.Add(1)
+		g.commitBatches.Add(1)
 	}
-
-	// Notify commit watchers (TO_STREAM per-commit triggers) with the
-	// per-state write sets, grouped by topology group.
 	for _, g := range groups {
 		var writes map[StateID][]string
 		for _, e := range entries {

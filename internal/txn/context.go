@@ -13,18 +13,50 @@ import (
 // use several words.
 const maxActiveTxns = 1024
 
-// Context is the global state context of the paper's Figure 3: the
-// registry of states and topology groups, the table of active
-// transactions, and the global atomic timestamp counter. Slot management
-// is latch-free (CAS on bit-vector words); the registry itself is
-// mutex-protected because tables and groups are created at setup time,
-// not on the transaction hot path.
-type Context struct {
-	counter atomic.Uint64 // global logical clock: txn IDs and commit timestamps
+// registryShards is the fixed arity of the state/group registry. Lookups
+// (Table, group) are on the transaction hot path — every snapshot pin of a
+// multi-group transaction resolves groups by ID — so the registry is
+// spread over independently latched shards keyed by FNV-1a of the
+// identifier. Must be a power of two.
+const registryShards = 64
 
+// registryShard is one latch-striped slice of the registry. States and
+// groups live in the shard their ID hashes to; creation takes the shard's
+// write latch, lookups only its read latch, so lookups of unrelated IDs
+// never serialize.
+type registryShard struct {
 	mu     sync.RWMutex
 	states map[StateID]*Table
 	groups map[GroupID]*Group
+}
+
+// registryIndex hashes an identifier to its registry shard (FNV-1a).
+func registryIndex(id string) int {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h & (registryShards - 1))
+}
+
+// Context is the global state context of the paper's Figure 3: the
+// registry of states and topology groups, the table of active
+// transactions, and the global atomic timestamp counter. Slot management
+// is latch-free (CAS on bit-vector words); the registry is sharded so
+// Begin/lookup/Register scale with cores instead of funneling through one
+// context-wide mutex.
+type Context struct {
+	counter atomic.Uint64 // global logical clock: txn IDs and commit timestamps
+
+	// shards hold the state/group registry, striped by ID hash.
+	shards [registryShards]registryShard
+
+	// setupMu serializes group creation only: CreateGroup validates and
+	// claims the member tables' group pointers, which spans registry
+	// shards. Setup is off the transaction hot path, so one mutex is fine;
+	// lookups never take it.
+	setupMu sync.Mutex
 
 	// Active transaction table: a fixed slot array managed by CAS bit
 	// vectors, scanned to derive OldestActiveVersion for GC.
@@ -37,10 +69,12 @@ type Context struct {
 
 // NewContext creates an empty state context.
 func NewContext() *Context {
-	return &Context{
-		states: make(map[StateID]*Table),
-		groups: make(map[GroupID]*Group),
+	c := &Context{}
+	for i := range c.shards {
+		c.shards[i].states = make(map[StateID]*Table)
+		c.shards[i].groups = make(map[GroupID]*Group)
 	}
+	return c
 }
 
 // next returns the next logical timestamp.
@@ -125,19 +159,21 @@ func (c *Context) ActiveCount() int {
 	return n
 }
 
-// group resolves a group by ID.
+// group resolves a group by ID through its registry shard.
 func (c *Context) group(id GroupID) (*Group, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	g, ok := c.groups[id]
+	sh := &c.shards[registryIndex(string(id))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	g, ok := sh.groups[id]
 	return g, ok
 }
 
 // Table returns the registered table named id.
 func (c *Context) Table(id StateID) (*Table, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	t, ok := c.states[id]
+	sh := &c.shards[registryIndex(string(id))]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	t, ok := sh.states[id]
 	return t, ok
 }
 
@@ -153,10 +189,36 @@ type Group struct {
 
 	lastCTS atomic.Uint64
 
-	// commitMu is the short commit-time synchronization of the paper:
-	// version installation and the LastCTS publish happen under it, so
-	// commits of one group are serialized while readers stay lock-free.
-	commitMu sync.Mutex
+	// Group-commit pipeline. The paper's short commit-time critical
+	// section serialized whole commits; here concurrent committers instead
+	// enqueue their validated transactions on pending. The first committer
+	// to find no leader active claims leadership and commits one drained
+	// batch: it admits each transaction in arrival order against a batch
+	// overlay, assigns a contiguous commit-timestamp range, persists ONE
+	// coalesced batch per base store (one fsync amortized over the whole
+	// batch), installs all versions, and publishes LastCTS once. Followers
+	// park on their request's ready channel and are woken with the
+	// recorded verdict — or with the leadership baton, when the retiring
+	// leader leaves pending requests behind (one-batch tenures keep any
+	// single committer from serving the queue indefinitely). commitMu is
+	// the exclusivity latch: a leader holds it for its tenure, and
+	// multi-group transactions take the commitMu of every involved group
+	// in canonical order instead of queueing (see installCommit). qmu
+	// guards pending, leaderActive and the queue handoff only and is
+	// never held across I/O.
+	commitMu     sync.Mutex
+	qmu          sync.Mutex
+	pending      []*commitReq
+	leaderActive bool
+	wake         chan struct{} // nudges a leader collecting its next batch
+	batchTarget  int           // previous batch size; leader-owned under commitMu
+
+	// Pipeline counters (diagnostics and bench reporting): transactions
+	// globally committed through this group and the number of leader
+	// batches that carried them. txns/batches is the achieved group-commit
+	// fan-in.
+	commitTxns    atomic.Uint64
+	commitBatches atomic.Uint64
 
 	// watchers are commit listeners (TO_STREAM trigger policy
 	// "per transaction commit"); they run synchronously right after
@@ -164,6 +226,13 @@ type Group struct {
 	// be fast and must not call back into the protocol.
 	watcherMu sync.RWMutex
 	watchers  []CommitWatcher
+}
+
+// CommitStats reports the number of transactions globally committed
+// through the group and the number of group-commit batches that carried
+// them; txns/batches is the achieved commit fan-in (1.0 = no batching).
+func (g *Group) CommitStats() (txns, batches uint64) {
+	return g.commitTxns.Load(), g.commitBatches.Load()
 }
 
 // CommitWatcher observes global commits of a group: the commit timestamp
@@ -212,12 +281,19 @@ func (c *Context) CreateGroup(id GroupID, tables ...*Table) (*Group, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("txn: group %q needs at least one table", id)
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.groups[id]; dup {
+	// Group creation validates and claims tables across registry shards;
+	// setupMu serializes creators while lookups keep flowing through the
+	// shard read latches.
+	c.setupMu.Lock()
+	defer c.setupMu.Unlock()
+	sh := &c.shards[registryIndex(string(id))]
+	sh.mu.RLock()
+	_, dup := sh.groups[id]
+	sh.mu.RUnlock()
+	if dup {
 		return nil, fmt.Errorf("txn: group %q already exists", id)
 	}
-	g := &Group{id: id, ctx: c, byID: make(map[StateID]bool)}
+	g := &Group{id: id, ctx: c, byID: make(map[StateID]bool), wake: make(chan struct{}, 1)}
 	for _, t := range tables {
 		if t.group != nil {
 			return nil, fmt.Errorf("txn: table %q already in group %q", t.id, t.group.id)
@@ -228,7 +304,9 @@ func (c *Context) CreateGroup(id GroupID, tables ...*Table) (*Group, error) {
 		g.tables = append(g.tables, t)
 		g.byID[t.id] = true
 	}
-	c.groups[id] = g
+	sh.mu.Lock()
+	sh.groups[id] = g
+	sh.mu.Unlock()
 
 	// Recovery: LastCTS is persisted in each member's base store; the
 	// group's recovered timestamp is the maximum across members (a crash

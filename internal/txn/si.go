@@ -14,10 +14,12 @@ import (
 //   - Writes only append to the write set ("Dirty Array"); with a single
 //     writer they never block, and with multiple writers conflicts are
 //     resolved at commit time by the First-Committer-Wins rule.
-//   - Commit runs the shared consistency protocol: under the group commit
-//     latch the FCW check admits the transaction, versions are installed,
-//     the base table is updated in one (optionally synchronous) batch per
-//     store, and LastCTS is published atomically.
+//   - Commit runs the shared consistency protocol through the group-commit
+//     pipeline: the committer enqueues its validated write set, and a batch
+//     leader admits it (First-Committer-Wins, against installed versions
+//     plus earlier same-batch admissions), persists one coalesced
+//     (optionally synchronous) batch per base store, installs the versions
+//     and publishes LastCTS once per batch (see leaderCommit).
 //   - Abort just discards the write set — no undo is ever needed inside
 //     the table.
 type SI struct {
@@ -108,19 +110,17 @@ func (p *SI) Delete(tx *Txn, tbl *Table, key string) error {
 // the transaction, it must abort" (Section 4.2). The snapshot is the
 // ReadCTS pinned at the transaction's first access of the group (Write
 // pins it too, so it always exists for written states); the begin
-// timestamp is a defensive fallback.
-func (p *SI) admitFCW(tx *Txn) error {
+// timestamp is a defensive fallback. The overlay carries writes admitted
+// earlier in the same group-commit batch, whose versions are not
+// installed yet but must conflict all the same.
+func (p *SI) admitFCW(tx *Txn, ov *commitOverlay) error {
 	for _, e := range tx.states {
 		snapshot := tx.id
 		if pinned, ok := tx.readCTS[e.table.group.id]; ok {
 			snapshot = pinned
 		}
 		for _, key := range e.order {
-			o := e.table.object(key, false)
-			if o == nil {
-				continue
-			}
-			if latest := o.LatestCTS(); latest > snapshot {
+			if latest := ov.latestCTS(e.table, key); latest > snapshot {
 				return fmt.Errorf("%w: state %q key %q (latest %d > snapshot %d)",
 					ErrConflict, e.table.id, key, latest, snapshot)
 			}
@@ -136,14 +136,14 @@ func (p *SI) CommitState(tx *Txn, tbl *Table) error {
 		return err
 	}
 	return commitState(tx, tbl, func() error {
-		return p.installCommit(tx, func() error { return p.admitFCW(tx) })
+		return p.installCommit(tx, func(ov *commitOverlay) error { return p.admitFCW(tx, ov) })
 	})
 }
 
 // Commit implements Protocol.
 func (p *SI) Commit(tx *Txn) error {
 	return commitAll(tx, func() error {
-		return p.installCommit(tx, func() error { return p.admitFCW(tx) })
+		return p.installCommit(tx, func(ov *commitOverlay) error { return p.admitFCW(tx, ov) })
 	})
 }
 

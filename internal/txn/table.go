@@ -54,16 +54,17 @@ type tableShard struct {
 // base store. The table is empty in memory until its group is created,
 // which performs recovery of persisted rows.
 func (c *Context) CreateTable(id StateID, store kv.Store, opts TableOptions) (*Table, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.states[id]; dup {
+	sh := &c.shards[registryIndex(string(id))]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.states[id]; dup {
 		return nil, fmt.Errorf("txn: table %q already exists", id)
 	}
 	t := &Table{id: id, ctx: c, store: store, opts: opts}
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*mvcc.Object)
 	}
-	c.states[id] = t
+	sh.states[id] = t
 	return t, nil
 }
 

@@ -6,6 +6,32 @@
 // queries — plus the S2PL and BOCC baselines the paper evaluates against
 // and a persistent LSM key-value store as the base table.
 //
+// # Concurrency architecture
+//
+// The transactional core is built to keep readers and writers off each
+// other's locks at every layer (see DESIGN.md for the full picture):
+//
+//   - The state registry (Context) is striped over 64 independently
+//     latched shards keyed by FNV-1a of the state/group ID, so
+//     Begin/lookup/Register scale with cores; the active-transaction
+//     table is latch-free (CAS bit vectors).
+//   - Commits of one topology group flow through a group-commit
+//     pipeline: concurrent committers enqueue validated write sets, a
+//     batch leader assigns a contiguous timestamp range, admits each
+//     transaction under First-Committer-Wins (against installed versions
+//     plus earlier same-batch admissions), persists one coalesced batch
+//     per base store — a single fsync amortized over the whole batch —
+//     installs all versions and publishes the group's LastCTS once.
+//     Transactions spanning groups fall back to taking every involved
+//     group's commit latch in canonical order, so cross-group commits
+//     stay deadlock-free and atomic.
+//   - Per-key version arrays are immutable RCU snapshots behind an
+//     atomic pointer: a snapshot read never contends with the commit
+//     apply path, however hot the key.
+//
+// Group.CommitStats reports the pipeline's achieved batching;
+// cmd/sibench -scaling sweeps it against writer concurrency.
+//
 // The façade re-exports the user-facing API of the internal packages:
 //
 //	sistream.NewContext / CreateTable / CreateGroup  state management
