@@ -260,6 +260,26 @@ func BenchmarkCommitContended(b *testing.B) {
 	}
 }
 
+// BenchmarkIngest measures the dataflow spine end to end: a single
+// writer query pushing b.N data elements through source → punctuate →
+// TO_TABLE → commit against an in-memory base table. ns/op is wall time
+// per ingested element; elems/s is the headline ingest rate the
+// vectorized engine is tuned for (see DESIGN.md "Vectorized dataflow").
+func BenchmarkIngest(b *testing.B) {
+	cfg := bench.DefaultIngest()
+	cfg.Elements = b.N
+	cfg.CommitEvery = 100
+	cfg.Keys = 100_000
+	res, err := bench.RunIngest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Aborts != 0 {
+		b.Fatalf("single-writer ingest aborted %d transactions", res.Aborts)
+	}
+	b.ReportMetric(res.ElemsPerSec, "elems/s")
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

@@ -42,6 +42,8 @@ func main() {
 		fmt.Printf("flushes:      %d\n", st.Flushes)
 		fmt.Printf("compactions:  %d\n", st.Compactions)
 		fmt.Printf("memtable:     %d keys, ~%d bytes\n", st.MemKeys, st.MemBytes)
+		fmt.Printf("block cache:  %d blocks, %d hits, %d misses\n",
+			st.BlockCacheBlocks, st.BlockCacheHits, st.BlockCacheMisses)
 		var files, size int
 		for l := range st.LevelFiles {
 			if st.LevelFiles[l] == 0 {

@@ -9,6 +9,8 @@
 //	sibench -claim c1|c2|c3              # Section 5 prose claims
 //	sibench -cell -protocol mvcc -theta 2 -readers 24   # one cell
 //	sibench -scaling                     # commit-path scaling: writers 1..16
+//	sibench -ingest                      # dataflow ingest rate (elems/s)
+//	sibench -ingest -json                # ... as JSON (BENCH_ingest.json)
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
@@ -31,6 +33,11 @@ func main() {
 		claim     = flag.String("claim", "", "reproduce a Section 5 claim: c1, c2 or c3")
 		cell      = flag.Bool("cell", false, "run a single cell with the flags below")
 		scaling   = flag.Bool("scaling", false, "sweep concurrent writers to show group-commit scaling")
+		ingest    = flag.Bool("ingest", false, "run the single-writer dataflow ingest benchmark")
+		elements  = flag.Int("elements", 1_000_000, "ingest: data elements pushed through the pipeline")
+		every     = flag.Int("commitevery", 100, "ingest: tuples per transaction (punctuation interval)")
+		keys      = flag.Int("keys", 100_000, "ingest: distinct keys cycled through")
+		jsonOut   = flag.Bool("json", false, "ingest: JSON output (BENCH_ingest.json format)")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
 		backend   = flag.String("backend", "lsm", "mem | lsm")
 		dir       = flag.String("dir", "", "LSM data directory (default: temp)")
@@ -77,6 +84,28 @@ func main() {
 	base.Dir = dirFor("", 0)
 
 	switch {
+	case *ingest:
+		icfg := bench.DefaultIngest()
+		icfg.Protocol = *protocol
+		icfg.Backend = *backend
+		if icfg.Backend == "lsm" {
+			icfg.Dir = base.Dir
+		}
+		icfg.Elements = *elements
+		icfg.CommitEvery = *every
+		icfg.Keys = *keys
+		icfg.Sync = *sync
+		res, err := bench.RunIngest(icfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			if err := res.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			bench.PrintIngest(os.Stdout, res)
+		}
 	case *figure == 4:
 		runFigure4(base, dirFor, *csv)
 	case *scaling:

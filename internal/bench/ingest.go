@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"sistream/internal/kv"
+	"sistream/internal/lsm"
+	"sistream/internal/stream"
+	"sistream/internal/txn"
+)
+
+// IngestConfig parameterizes the ingest benchmark: one continuous query
+// pushing Elements tuples through source → punctuate → TO_TABLE with a
+// commit every CommitEvery tuples. It isolates the dataflow substrate and
+// the write path of the transaction layer — the per-element costs the
+// vectorized engine amortizes — from reader concurrency, which the main
+// benchmark (Config) covers.
+type IngestConfig struct {
+	// Protocol selects the concurrency control: "mvcc", "s2pl" or "bocc".
+	Protocol string
+	// Backend selects the base table: "mem" or "lsm".
+	Backend string
+	// Dir is the data directory for the lsm backend.
+	Dir string
+	// Elements is the number of data tuples pushed through the pipeline.
+	Elements int
+	// CommitEvery is the Punctuate batch size (tuples per transaction).
+	CommitEvery int
+	// Keys is the number of distinct keys cycled through.
+	Keys int
+	// KeyBytes / ValueBytes shape the records.
+	KeyBytes   int
+	ValueBytes int
+	// Sync makes commits durable before visible.
+	Sync bool
+}
+
+// DefaultIngest returns a quick single-writer in-memory configuration.
+func DefaultIngest() IngestConfig {
+	return IngestConfig{
+		Protocol:    "mvcc",
+		Backend:     "mem",
+		Elements:    1_000_000,
+		CommitEvery: 100,
+		Keys:        100_000,
+		KeyBytes:    8,
+		ValueBytes:  20,
+	}
+}
+
+func (c *IngestConfig) validate() error {
+	switch c.Protocol {
+	case "mvcc", "s2pl", "bocc":
+	default:
+		return fmt.Errorf("bench: unknown protocol %q", c.Protocol)
+	}
+	switch c.Backend {
+	case "mem":
+	case "lsm":
+		if c.Dir == "" {
+			return fmt.Errorf("bench: lsm backend needs Dir")
+		}
+	default:
+		return fmt.Errorf("bench: unknown backend %q", c.Backend)
+	}
+	if c.Elements < 1 || c.CommitEvery < 1 || c.Keys < 1 {
+		return fmt.Errorf("bench: non-positive size parameter")
+	}
+	if c.KeyBytes < 1 {
+		c.KeyBytes = 8
+	}
+	if c.ValueBytes < 1 {
+		c.ValueBytes = 20
+	}
+	return nil
+}
+
+// IngestResult is the outcome of one ingest run.
+type IngestResult struct {
+	Config  IngestConfig
+	Elapsed time.Duration
+
+	// Writes is the number of tuple writes applied by TO_TABLE.
+	Writes int64
+	// Commits / Aborts count the query's transactions.
+	Commits int64
+	Aborts  int64
+
+	// ElemsPerSec is the headline metric: data elements ingested per
+	// second of wall-clock time.
+	ElemsPerSec float64
+
+	// CommitTxns / CommitBatches are the group-commit pipeline counters.
+	CommitTxns    uint64
+	CommitBatches uint64
+}
+
+// RunIngest executes one ingest cell: a single writer pushing
+// cfg.Elements tuples through source → punctuate → TO_TABLE → commit.
+func RunIngest(cfg IngestConfig) (IngestResult, error) {
+	if err := cfg.validate(); err != nil {
+		return IngestResult{}, err
+	}
+
+	var store kv.Store
+	switch cfg.Backend {
+	case "mem":
+		store = kv.NewMem()
+	case "lsm":
+		db, err := lsm.Open(cfg.Dir, lsm.Options{})
+		if err != nil {
+			return IngestResult{}, err
+		}
+		store = db
+	}
+	defer store.Close()
+
+	ctx := txn.NewContext()
+	tbl, err := ctx.CreateTable("ingest", store, txn.TableOptions{SyncCommits: cfg.Sync})
+	if err != nil {
+		return IngestResult{}, err
+	}
+	group, err := ctx.CreateGroup("ingest", tbl)
+	if err != nil {
+		return IngestResult{}, err
+	}
+	var p txn.Protocol
+	switch cfg.Protocol {
+	case "mvcc":
+		p = txn.NewSI(ctx)
+	case "s2pl":
+		p = txn.NewS2PL(ctx)
+	case "bocc":
+		p = txn.NewBOCC(ctx)
+	}
+
+	value := make([]byte, cfg.ValueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	top := stream.New("ingest")
+	src := top.Source("gen", func(emit func(stream.Element)) error {
+		for i := 0; i < cfg.Elements; i++ {
+			emit(stream.DataElement(stream.Tuple{
+				Key:   keyString(uint64(i%cfg.Keys), cfg.KeyBytes),
+				Value: value,
+				Ts:    int64(i),
+			}))
+		}
+		return nil
+	})
+	s := src.Punctuate(cfg.CommitEvery).Transactions(p)
+	s, stats := s.ToTable(p, tbl)
+	s.Discard()
+
+	start := time.Now()
+	if err := top.Run(); err != nil {
+		return IngestResult{}, err
+	}
+	elapsed := time.Since(start)
+
+	res := IngestResult{
+		Config:  cfg,
+		Elapsed: elapsed,
+		Writes:  stats.Writes.Load(),
+		Commits: stats.Commits.Load(),
+		Aborts:  stats.Aborts.Load(),
+	}
+	res.CommitTxns, res.CommitBatches = group.CommitStats()
+	res.ElemsPerSec = float64(res.Writes) / elapsed.Seconds()
+	return res, nil
+}
+
+// WriteJSON renders the result as indented JSON (BENCH_ingest.json).
+func (r IngestResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// PrintIngest renders one ingest result verbosely.
+func PrintIngest(w io.Writer, r IngestResult) {
+	c := r.Config
+	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t\n",
+		c.Protocol, c.Backend, c.Elements, c.CommitEvery, c.Keys, c.Sync)
+	fmt.Fprintf(w, "  throughput %12.0f elems/s  (%d writes in %v)\n", r.ElemsPerSec, r.Writes, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "  txns       commits=%d aborts=%d\n", r.Commits, r.Aborts)
+	fanIn := 0.0
+	if r.CommitBatches > 0 {
+		fanIn = float64(r.CommitTxns) / float64(r.CommitBatches)
+	}
+	fmt.Fprintf(w, "  group ci   %d txns in %d batches (fan-in %.2f)\n", r.CommitTxns, r.CommitBatches, fanIn)
+}

@@ -38,6 +38,22 @@ func (b *Batch) Delete(key []byte) {
 	b.ops = append(b.ops, Op{Kind: OpDelete, Key: cloneBytes(key)})
 }
 
+// PutOwned appends a put operation WITHOUT copying key or value: the
+// caller hands both over and must never modify them again — a store may
+// retain the slices beyond Apply (the in-memory store keeps the value by
+// reference). The group-commit path uses this to coalesce whole
+// transaction batches with zero per-operation allocation; its values are
+// immutable private write-set copies.
+func (b *Batch) PutOwned(key, value []byte) {
+	b.ops = append(b.ops, Op{Kind: OpPut, Key: key, Value: value})
+}
+
+// DeleteOwned appends a delete operation without copying the key (see
+// PutOwned for the aliasing contract).
+func (b *Batch) DeleteOwned(key []byte) {
+	b.ops = append(b.ops, Op{Kind: OpDelete, Key: key})
+}
+
 // Len returns the number of operations in the batch.
 func (b *Batch) Len() int { return len(b.ops) }
 

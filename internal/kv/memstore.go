@@ -92,6 +92,10 @@ func (s *Mem) Delete(key []byte) error {
 	return nil
 }
 
+// applyScratch recycles the per-shard grouping buffers of Apply so the
+// write hot path does not regrow 16 op slices on every batch.
+var applyScratch = sync.Pool{New: func() any { return new([memShards][]Op) }}
+
 // Apply implements Store. The batch is applied under per-shard locks in
 // shard order, so concurrent readers of a single key never observe a torn
 // batch for that key; cross-key atomicity for readers is provided a level
@@ -103,7 +107,7 @@ func (s *Mem) Apply(b *Batch, _ bool) error {
 		return err
 	}
 	// Group ops per shard to take each lock once.
-	var perShard [memShards][]Op
+	perShard := applyScratch.Get().(*[memShards][]Op)
 	for _, op := range b.Ops() {
 		i := shardFor(op.Key)
 		perShard[i] = append(perShard[i], op)
@@ -123,6 +127,13 @@ func (s *Mem) Apply(b *Batch, _ bool) error {
 		}
 		sh.mu.Unlock()
 	}
+	for i := range perShard {
+		// Drop the op references (they pin key/value buffers) but keep
+		// the grown backing arrays for the next batch.
+		clear(perShard[i])
+		perShard[i] = perShard[i][:0]
+	}
+	applyScratch.Put(perShard)
 	return nil
 }
 

@@ -1,0 +1,104 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// blockCache is a small LRU over SSTable data blocks, shared by all
+// tables of one DB. Point lookups (tableReader.get) consult it so a hot
+// read path stops paying one pread per lookup; iterators (scans,
+// compactions) bypass it deliberately — their one-shot streaming access
+// would only evict the hot blocks.
+//
+// Entries are keyed by (file number, block index); a cached block is
+// immutable (SSTables never change after finish), so hits can be served
+// to concurrent readers without copying.
+type blockCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used
+	m   map[blockKey]*list.Element
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type blockKey struct {
+	file  uint64
+	block int
+}
+
+type blockEntry struct {
+	key  blockKey
+	data []byte
+}
+
+// newBlockCache returns a cache holding up to capBlocks blocks, or nil
+// (caching disabled) when capBlocks <= 0.
+func newBlockCache(capBlocks int) *blockCache {
+	if capBlocks <= 0 {
+		return nil
+	}
+	return &blockCache{cap: capBlocks, ll: list.New(), m: make(map[blockKey]*list.Element, capBlocks)}
+}
+
+// get returns the cached block and promotes it. Safe on a nil cache.
+func (c *blockCache) get(k blockKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.m[k]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	data := el.Value.(*blockEntry).data
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return data, true
+}
+
+// put inserts a block, evicting from the LRU tail. Safe on a nil cache.
+func (c *blockCache) put(k blockKey, data []byte) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok {
+		// Raced with another reader filling the same block; keep the
+		// existing entry (identical contents).
+		c.ll.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	c.m[k] = c.ll.PushFront(&blockEntry{key: k, data: data})
+	for c.ll.Len() > c.cap {
+		tail := c.ll.Back()
+		c.ll.Remove(tail)
+		delete(c.m, tail.Value.(*blockEntry).key)
+	}
+	c.mu.Unlock()
+}
+
+// Stats reports hit/miss counters. Safe on a nil cache.
+func (c *blockCache) stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}
+
+// len reports the number of cached blocks (tests). Safe on a nil cache.
+func (c *blockCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

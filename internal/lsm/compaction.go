@@ -201,7 +201,7 @@ func (d *DB) writeCompactionOutputs(merge *mergingIterator, dropTombstones bool)
 			// by never creating empty builders (guarded below).
 			return nil
 		}
-		reader, err := openTable(sstPath(d.dir, bNum))
+		reader, err := openTable(sstPath(d.dir, bNum), bNum, d.cache)
 		if err != nil {
 			return err
 		}

@@ -33,6 +33,10 @@ type Options struct {
 	// DisableAutoCompaction turns off flush-triggered compaction; tests
 	// use it to construct specific layouts.
 	DisableAutoCompaction bool
+	// BlockCacheBlocks is the capacity of the shared data-block LRU cache
+	// serving point lookups, in blocks (default 256 — 1 MiB at the
+	// default block size). Negative disables caching.
+	BlockCacheBlocks int
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +57,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxOutputBytes == 0 {
 		o.MaxOutputBytes = 2 << 20
+	}
+	if o.BlockCacheBlocks == 0 {
+		o.BlockCacheBlocks = 256
 	}
 	return o
 }
@@ -80,6 +87,9 @@ type DB struct {
 	compactPtr  [numLevels][]byte
 	closed      bool
 
+	// cache is the shared data-block LRU (nil when disabled).
+	cache *blockCache
+
 	// stats
 	flushes     int
 	compactions int
@@ -93,7 +103,8 @@ func Open(dir string, opts Options) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	d := &DB{dir: dir, opts: opts, mem: newMemtable(), cur: newVersion(), nextFileNum: 1}
+	d := &DB{dir: dir, opts: opts, mem: newMemtable(), cur: newVersion(), nextFileNum: 1,
+		cache: newBlockCache(opts.BlockCacheBlocks)}
 
 	manifestNum, haveCurrent, err := readCurrent(dir)
 	if err != nil {
@@ -204,7 +215,7 @@ func (d *DB) recoverManifest(num uint64) (logNum uint64, err error) {
 		return 0, fmt.Errorf("lsm: recover manifest: %w", err)
 	}
 	for fnum, s := range files {
-		reader, err := openTable(sstPath(d.dir, fnum))
+		reader, err := openTable(sstPath(d.dir, fnum), fnum, d.cache)
 		if err != nil {
 			return 0, fmt.Errorf("lsm: recover table %d: %w", fnum, err)
 		}
@@ -397,7 +408,7 @@ func (d *DB) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	reader, err := openTable(sstPath(d.dir, num))
+	reader, err := openTable(sstPath(d.dir, num), num, d.cache)
 	if err != nil {
 		return err
 	}
@@ -579,6 +590,12 @@ type Stats struct {
 	LevelBytes  [numLevels]uint64
 	MemBytes    int
 	MemKeys     int
+	// BlockCacheHits / BlockCacheMisses count point-lookup block fetches
+	// served from / missed by the shared block cache.
+	BlockCacheHits   uint64
+	BlockCacheMisses uint64
+	// BlockCacheBlocks is the current number of cached blocks.
+	BlockCacheBlocks int
 }
 
 // Stats returns a snapshot of internal counters.
@@ -591,6 +608,8 @@ func (d *DB) Stats() Stats {
 		MemBytes:    d.mem.approximateBytes(),
 		MemKeys:     d.mem.len(),
 	}
+	s.BlockCacheHits, s.BlockCacheMisses = d.cache.stats()
+	s.BlockCacheBlocks = d.cache.len()
 	for l, level := range d.cur.levels {
 		s.LevelFiles[l] = len(level)
 		s.LevelBytes[l] = d.cur.levelBytes(l)

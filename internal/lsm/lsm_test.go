@@ -560,7 +560,7 @@ func TestSSTableRoundTrip(t *testing.T) {
 	if count != n || string(smallest) != "key-00000" || string(largest) != fmt.Sprintf("key-%05d", n-1) || size == 0 {
 		t.Fatalf("meta: count=%d smallest=%q largest=%q size=%d", count, smallest, largest, size)
 	}
-	r, err := openTable(path)
+	r, err := openTable(path, 0, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -649,7 +649,7 @@ func TestSSTableCorruptFooter(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := openTable(path); err == nil {
+	if _, err := openTable(path, 0, nil); err == nil {
 		t.Fatal("expected corruption error")
 	}
 }

@@ -189,9 +189,13 @@ func (b *tableBuilder) abandon() {
 
 // tableReader serves point lookups and ordered iteration over one SSTable.
 // The index and bloom filter are held in memory; data blocks are read with
-// pread so a reader is safe for concurrent use.
+// pread so a reader is safe for concurrent use. Point lookups go through
+// the DB's shared block cache (when one is configured); iteration reads
+// blocks directly to keep streaming scans from evicting hot blocks.
 type tableReader struct {
 	f      *os.File
+	num    uint64
+	cache  *blockCache
 	filter bloomFilter
 
 	indexKeys [][]byte
@@ -200,7 +204,7 @@ type tableReader struct {
 	count     uint64
 }
 
-func openTable(path string) (*tableReader, error) {
+func openTable(path string, num uint64, cache *blockCache) (*tableReader, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("lsm: open sstable: %w", err)
@@ -244,7 +248,7 @@ func openTable(path string) (*tableReader, error) {
 		f.Close()
 		return nil, err
 	}
-	r := &tableReader{f: f, filter: unmarshalBloom(filterBuf), count: count}
+	r := &tableReader{f: f, num: num, cache: cache, filter: unmarshalBloom(filterBuf), count: count}
 	for len(index) > 0 {
 		klen, n := binary.Uvarint(index)
 		if n <= 0 || uint64(len(index)-n) < klen {
@@ -299,6 +303,24 @@ func (r *tableReader) readBlock(i int) ([]byte, error) {
 	return buf, nil
 }
 
+// readBlockCached serves a data block through the DB's block cache.
+// Cached blocks are immutable and shared between concurrent readers:
+// values returned by get() alias them, which is covered by the kv.Store
+// contract that values handed out by Get must not be modified — a caller
+// violating it would now corrupt the block for later readers instead of
+// only its own private copy.
+func (r *tableReader) readBlockCached(i int) ([]byte, error) {
+	k := blockKey{file: r.num, block: i}
+	if b, ok := r.cache.get(k); ok {
+		return b, nil
+	}
+	b, err := r.readBlock(i)
+	if err == nil {
+		r.cache.put(k, b)
+	}
+	return b, err
+}
+
 // get performs a point lookup. found=false means this table has no entry
 // for the key (the search must continue in older tables); found=true with
 // kind==kindDelete means the key is authoritatively deleted.
@@ -310,7 +332,7 @@ func (r *tableReader) get(key []byte) (value []byte, kind entryKind, found bool,
 	if bi < 0 {
 		return nil, 0, false, nil
 	}
-	block, err := r.readBlock(bi)
+	block, err := r.readBlockCached(bi)
 	if err != nil {
 		return nil, 0, false, err
 	}

@@ -2,36 +2,37 @@
 // paper's Section 4.1: each key of a transactional table maps to an MVCC
 // object holding an array of version slots. A slot is the classic MVCC
 // triple <[cts, dts], value> — the commit timestamp and deletion
-// timestamp delimit the version's lifetime. A UsedSlots bit vector tracks
-// free slots, and garbage collection runs on demand: only when a writer
-// needs a slot and none is free are versions that no active transaction
-// can see (dts <= OldestActiveVersion) reclaimed.
+// timestamp delimit the version's lifetime. Garbage collection runs on
+// demand: only when a writer needs a slot and none can be reclaimed do
+// versions that no active transaction can see (dts <= OldestActiveVersion)
+// get dropped; if nothing is reclaimable the array grows, so long-pinned
+// snapshots trade memory for writer progress (the paper's single 64-bit
+// UsedSlots word caps a key at 64 live versions, which is unsound when a
+// reader can hold its pin across scheduler quanta — see the growth rule).
 //
-// The paper manages UsedSlots with a single 64-bit word, implicitly
-// capping each key at 64 live versions. That cap is unsound on a machine
-// where a reader goroutine can hold its snapshot pin across scheduler
-// quanta while a hot key is updated at full speed (hundreds of commits
-// can land within one pin hold). This implementation therefore extends
-// the bit vector to multiple words and grows the version array on demand
-// — the GC rule is unchanged, so the array shrinks back to steady state
-// as soon as the pinning snapshot finishes. Long-pinned snapshots trade
-// memory (version bloat) for writer progress, the same trade Postgres
-// makes.
+// Concurrency is read-copy-update with an append-in-place fast path.
+// Because commit timestamps are handed out monotonically per object (the
+// group-commit pipeline serializes installers), versions are stored in
+// ascending cts order and a new version is an APPEND: the writer fills
+// the next free slot and then publishes it with one atomic store of the
+// element count. Terminating the predecessor mutates only its atomic dts
+// word. Readers load the count, scan backward without any locks, and can
+// never observe a torn slot: the slot's contents happen-before the count
+// that exposes it. The array is cloned only when it is full (reclaim or
+// grow) — the steady-state install allocates nothing but the value copy,
+// where the original RCU design cloned the whole slot array on every
+// install.
 //
-// Concurrency follows the read-copy-update discipline rather than the
-// paper's read-write latches: the slot array lives in an immutable
-// versionSet published through an atomic pointer. Readers load the
-// pointer and scan without any synchronization — a snapshot read NEVER
-// contends with the commit apply path, however hot the key. Writers
-// (Install, GC) are serialized by the group-commit pipeline per table
-// anyway; they clone the set, mutate the clone, and publish it with one
-// atomic store. The clone cost is a few cache lines for typical slot
-// counts and buys wait-free reads.
+// A reader between the predecessor's termination and the count publish
+// could in principle see "deleted" at rts >= cts — but no snapshot reader
+// can hold rts >= cts before the commit publishes LastCTS (which happens
+// after all installs), S2PL readers are excluded by the row lock, and
+// BOCC's unsynchronized Infinity-readers already tolerate torn commits by
+// construction (their validation aborts them — see bocc.go).
 package mvcc
 
 import (
 	"fmt"
-	"math/bits"
 	"sync"
 	"sync/atomic"
 )
@@ -51,32 +52,35 @@ const Infinity Timestamp = ^uint64(0)
 // demand (doubling) when garbage collection cannot reclaim a slot.
 const DefaultSlots = 8
 
-// header is the [cts, dts] pair of one version slot.
-type header struct {
+// slot is one version: the [cts, dts] header plus its value. cts and the
+// value are written before the slot is published (via versionSet.n) and
+// immutable afterwards; dts is atomic because termination mutates it in
+// place while lock-free readers scan.
+type slot struct {
 	cts Timestamp
-	dts Timestamp
+	dts atomic.Uint64
+	val []byte
 }
 
-// versionSet is one immutable generation of an object's version array.
-// Once published via Object.snap it is never mutated; writers clone it,
-// update the clone, and publish the clone. Values are likewise immutable:
-// a slot reuse writes a fresh byte slice, never the old backing array.
+// versionSet is one generation of an object's version array: slots[0:n)
+// hold versions in ascending cts order. The array itself is fixed-size;
+// appends publish a new n, and only reclaim/growth replaces the set.
 type versionSet struct {
-	// used is the UsedSlots bit vector: bit i set = slot i occupied.
-	used    []uint64
-	headers []header
-	values  [][]byte
-	// latest is the CTS of the newest committed version (0 if none);
-	// the First-Committer-Wins check reads it without scanning slots.
-	latest Timestamp
+	slots []slot
+	n     atomic.Int64
 }
 
 // Object is the per-key version container. All methods are safe for
-// concurrent use; reads are wait-free (one atomic pointer load), writes
+// concurrent use; reads are wait-free (atomic loads only), writers
 // serialize on a short mutex.
 type Object struct {
-	mu   sync.Mutex // writers only: Install, InstallRecovered, GC
-	snap atomic.Pointer[versionSet]
+	mu     sync.Mutex // writers only: Install, InstallRecovered, GC
+	snap   atomic.Pointer[versionSet]
+	latest atomic.Uint64 // newest installed cts, deletions included
+}
+
+func newVersionSet(slots int) *versionSet {
+	return &versionSet{slots: make([]slot, slots)}
 }
 
 // NewObject creates an object with initial capacity for slots versions
@@ -89,85 +93,51 @@ func NewObject(slots int) *Object {
 		slots = 1
 	}
 	o := &Object{}
-	o.snap.Store(&versionSet{
-		used:    make([]uint64, (slots+63)/64),
-		headers: make([]header, slots),
-		values:  make([][]byte, slots),
-	})
+	o.snap.Store(newVersionSet(slots))
 	return o
 }
-
-// clone copies the set's slot bookkeeping for mutation. Values are
-// aliased (immutable); the slices themselves are fresh.
-func (s *versionSet) clone() *versionSet {
-	n := &versionSet{
-		used:    make([]uint64, len(s.used)),
-		headers: make([]header, len(s.headers)),
-		values:  make([][]byte, len(s.values)),
-		latest:  s.latest,
-	}
-	copy(n.used, s.used)
-	copy(n.headers, s.headers)
-	copy(n.values, s.values)
-	return n
-}
-
-// eachUsed calls fn for every occupied slot index; fn returns false to
-// stop.
-func (s *versionSet) eachUsed(fn func(i int) bool) {
-	for w, word := range s.used {
-		for ; word != 0; word &= word - 1 {
-			i := w*64 + bits.TrailingZeros64(word)
-			if i >= len(s.headers) {
-				return
-			}
-			if !fn(i) {
-				return
-			}
-		}
-	}
-}
-
-func (s *versionSet) setUsed(i int)   { s.used[i/64] |= 1 << uint(i%64) }
-func (s *versionSet) clearUsed(i int) { s.used[i/64] &^= 1 << uint(i%64) }
 
 // Read returns the version visible at read timestamp rts: the version
 // with the greatest cts satisfying cts <= rts and (dts == 0 or dts > rts).
 // ok is false when no version is visible (the key did not exist, or was
 // deleted, in that snapshot). The returned slice is owned by the object
-// and must not be modified. Read takes no locks: it scans the immutable
-// set current at its single atomic load.
+// and must not be modified. Read takes no locks.
+//
+// The backward scan is exact: versions ascend by cts, so the first slot
+// from the top with cts <= rts is the only candidate — every older
+// version was terminated at or before that slot's cts (dts chains), hence
+// is invisible at rts too.
 func (o *Object) Read(rts Timestamp) (value []byte, ok bool) {
 	s := o.snap.Load()
-	best := -1
-	var bestCTS Timestamp
-	s.eachUsed(func(i int) bool {
-		h := s.headers[i]
-		if h.cts <= rts && (h.dts == 0 || h.dts > rts) && h.cts >= bestCTS {
-			best, bestCTS = i, h.cts
+	for i := int(s.n.Load()) - 1; i >= 0; i-- {
+		sl := &s.slots[i]
+		if sl.cts > rts {
+			continue
 		}
-		return true
-	})
-	if best < 0 {
+		if dts := sl.dts.Load(); dts == 0 || dts > rts {
+			return sl.val, true
+		}
 		return nil, false
 	}
-	return s.values[best], true
+	return nil, false
 }
 
 // LatestCTS returns the commit timestamp of the newest version, whether
 // alive or deleted; the SI protocol's First-Committer-Wins rule compares
 // it against the writer's snapshot.
 func (o *Object) LatestCTS() Timestamp {
-	return o.snap.Load().latest
+	return o.latest.Load()
 }
 
 // Install makes a new version visible: the currently live version (if
 // any) gets dts = cts, and unless the write is a deletion a new slot
-// <[cts, 0], value> is populated. oldestActive drives on-demand garbage
+// <[cts, 0], value> is appended. oldestActive drives on-demand garbage
 // collection when the array is full; if nothing is reclaimable the array
-// grows, so Install never fails for capacity reasons. The value is
-// copied. Concurrent readers observe either the previous or the new
-// generation, atomically.
+// grows, so Install never fails for capacity reasons. Install takes
+// OWNERSHIP of value: the caller must not modify it afterwards (commit
+// paths hand over their private write-set copies, so the hot path pays
+// no extra copy). Concurrent readers observe the old or the new version
+// count, never a torn slot.
 //
 // Install must only be called by a committing transaction holding the
 // group commit latch, with cts greater than every previously installed
@@ -175,29 +145,36 @@ func (o *Object) LatestCTS() Timestamp {
 func (o *Object) Install(cts Timestamp, value []byte, delete bool, oldestActive Timestamp) error {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	cur := o.snap.Load()
-	if cts <= cur.latest {
-		return fmt.Errorf("mvcc: non-monotonic install: cts %d <= latest %d", cts, cur.latest)
+	if cts <= o.latest.Load() {
+		return fmt.Errorf("mvcc: non-monotonic install: cts %d <= latest %d", cts, o.latest.Load())
 	}
-	next := cur.clone()
-	// Terminate the currently live version.
-	next.eachUsed(func(i int) bool {
-		if next.headers[i].dts == 0 {
-			next.headers[i].dts = cts
-			return false
+	cur := o.snap.Load()
+	n := int(cur.n.Load())
+	// Terminate the currently live version — by cts order it can only be
+	// the newest slot.
+	if n > 0 {
+		if sl := &cur.slots[n-1]; sl.dts.Load() == 0 {
+			sl.dts.Store(cts)
 		}
-		return true
-	})
-	next.latest = cts
+	}
+	o.latest.Store(cts)
 	// A deletion installs no new version: the terminated predecessor
 	// alone makes the key invisible to snapshots at or after cts.
 	if !delete {
-		slot := next.allocSlot(oldestActive)
-		next.headers[slot] = header{cts: cts, dts: 0}
-		next.values[slot] = append([]byte(nil), value...)
-		next.setUsed(slot)
+		next := cur
+		if n == len(cur.slots) {
+			next = cur.reclaimOrGrow(oldestActive)
+			n = int(next.n.Load())
+		}
+		sl := &next.slots[n]
+		sl.cts = cts
+		sl.dts.Store(0)
+		sl.val = value
+		next.n.Store(int64(n + 1)) // publish: slot contents happen-before this
+		if next != cur {
+			o.snap.Store(next)
+		}
 	}
-	o.snap.Store(next)
 	return nil
 }
 
@@ -206,80 +183,62 @@ func (o *Object) Install(cts Timestamp, value []byte, delete bool, oldestActive 
 func (o *Object) InstallRecovered(cts Timestamp, value []byte) {
 	o.mu.Lock()
 	defer o.mu.Unlock()
-	next := o.snap.Load().clone()
-	next.headers[0] = header{cts: cts, dts: 0}
-	next.values[0] = append([]byte(nil), value...)
-	next.setUsed(0)
-	if cts > next.latest {
-		next.latest = cts
+	cur := o.snap.Load()
+	sl := &cur.slots[0]
+	sl.cts = cts
+	sl.dts.Store(0)
+	sl.val = append([]byte(nil), value...)
+	if cur.n.Load() < 1 {
+		cur.n.Store(1)
 	}
-	o.snap.Store(next)
+	if cts > o.latest.Load() {
+		o.latest.Store(cts)
+	}
 }
 
-// allocSlot finds a free slot in the (mutable, unpublished) clone,
-// garbage-collecting or growing when needed.
-func (s *versionSet) allocSlot(oldestActive Timestamp) int {
-	if i := s.freeSlot(); i >= 0 {
-		return i
-	}
-	// On-demand GC: reclaim versions dead before the oldest active
-	// snapshot (dts != 0 and dts <= oldestActive).
-	reclaimed := -1
-	s.eachUsed(func(i int) bool {
-		h := s.headers[i]
-		if h.dts != 0 && h.dts <= oldestActive {
-			s.clearUsed(i)
-			s.values[i] = nil
-			if reclaimed < 0 {
-				reclaimed = i
-			}
+// reclaimOrGrow builds the successor of a full set: dead versions
+// (dts <= oldestActive) are dropped; if none are, the array doubles.
+// The caller publishes the result after appending into it.
+func (s *versionSet) reclaimOrGrow(oldestActive Timestamp) *versionSet {
+	n := int(s.n.Load())
+	live := 0
+	for i := 0; i < n; i++ {
+		if dts := s.slots[i].dts.Load(); dts == 0 || dts > oldestActive {
+			live++
 		}
-		return true
-	})
-	if reclaimed >= 0 {
-		return reclaimed
 	}
-	// Nothing reclaimable: grow the array (see package comment).
-	old := len(s.headers)
-	newLen := old * 2
-	grown := make([]header, newLen)
-	copy(grown, s.headers)
-	s.headers = grown
-	grownV := make([][]byte, newLen)
-	copy(grownV, s.values)
-	s.values = grownV
-	for len(s.used)*64 < newLen {
-		s.used = append(s.used, 0)
+	size := len(s.slots)
+	if live == size {
+		// Nothing reclaimable: grow (see package comment).
+		size *= 2
 	}
-	return old
-}
-
-// freeSlot returns the lowest unoccupied slot index, or -1 when full.
-func (s *versionSet) freeSlot() int {
-	for w, word := range s.used {
-		free := ^word
-		if free == 0 {
+	next := newVersionSet(size)
+	j := 0
+	for i := 0; i < n; i++ {
+		sl := &s.slots[i]
+		dts := sl.dts.Load()
+		if dts != 0 && dts <= oldestActive {
 			continue
 		}
-		i := w*64 + bits.TrailingZeros64(free)
-		if i < len(s.headers) {
-			return i
-		}
+		nsl := &next.slots[j]
+		nsl.cts = sl.cts
+		nsl.dts.Store(dts)
+		nsl.val = sl.val
+		j++
 	}
-	return -1
+	next.n.Store(int64(j))
+	return next
 }
 
-// LiveVersions returns the number of occupied slots; used by tests and
-// the slot-size ablation.
+// LiveVersions returns the number of occupied slots (reclaimable ones
+// included); used by tests and the slot-size ablation.
 func (o *Object) LiveVersions() int {
-	n := 0
-	o.snap.Load().eachUsed(func(int) bool { n++; return true })
-	return n
+	return int(o.snap.Load().n.Load())
 }
 
 // Capacity returns the current version-array length.
 func (o *Object) Capacity() int {
-	return len(o.snap.Load().headers)
+	return len(o.snap.Load().slots)
 }
 
 // GC reclaims all versions invisible at oldestActive and reports how many
@@ -289,26 +248,31 @@ func (o *Object) GC(oldestActive Timestamp) int {
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	cur := o.snap.Load()
-	n := 0
-	cur.eachUsed(func(i int) bool {
-		h := cur.headers[i]
-		if h.dts != 0 && h.dts <= oldestActive {
-			n++
+	n := int(cur.n.Load())
+	dead := 0
+	for i := 0; i < n; i++ {
+		if dts := cur.slots[i].dts.Load(); dts != 0 && dts <= oldestActive {
+			dead++
 		}
-		return true
-	})
-	if n == 0 {
+	}
+	if dead == 0 {
 		return 0
 	}
-	next := cur.clone()
-	next.eachUsed(func(i int) bool {
-		h := next.headers[i]
-		if h.dts != 0 && h.dts <= oldestActive {
-			next.clearUsed(i)
-			next.values[i] = nil
+	next := newVersionSet(len(cur.slots))
+	j := 0
+	for i := 0; i < n; i++ {
+		sl := &cur.slots[i]
+		dts := sl.dts.Load()
+		if dts != 0 && dts <= oldestActive {
+			continue
 		}
-		return true
-	})
+		nsl := &next.slots[j]
+		nsl.cts = sl.cts
+		nsl.dts.Store(dts)
+		nsl.val = sl.val
+		j++
+	}
+	next.n.Store(int64(j))
 	o.snap.Store(next)
-	return n
+	return dead
 }

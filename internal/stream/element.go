@@ -15,6 +15,11 @@
 //	FROM(table) TableSnapshot / QueryKeys — one-time snapshot queries.
 //	FROM(stream) Hub.Attach — subscribe to a stream at the point of
 //	            attachment.
+//
+// Execution is vectorized: edges carry batches of elements and chains of
+// stateless operators fuse into a single goroutine (see batch.go). The
+// programming model is unchanged — sources emit and sinks observe one
+// element at a time, and punctuations keep their exact in-band position.
 package stream
 
 import (

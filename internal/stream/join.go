@@ -25,7 +25,7 @@ type Joined struct {
 //
 // fn maps the join result to an output tuple; returning false drops the
 // element (an inner join keeps only fn(..)==true for matched rows).
-// Punctuations pass through.
+// Punctuations pass through. Batches are filtered and rewritten in place.
 //
 // Placement: when joining under the query's transaction, TableJoin must
 // sit UPSTREAM of the query's final ToTable — the operator that flips the
@@ -34,11 +34,12 @@ type Joined struct {
 // transaction already finished (such elements are dropped).
 func (s *Stream) TableJoin(name string, p txn.Protocol, tbl *txn.Table, fn func(Joined) (Tuple, bool)) *Stream {
 	out := s.t.newStream()
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		for e := range s.ch {
+	s.consume(name, func(b []Element) {
+		w := 0
+		for _, e := range b {
 			if e.Kind != KindData {
-				out.ch <- e
+				b[w] = e
+				w++
 				continue
 			}
 			var value []byte
@@ -80,8 +81,14 @@ func (s *Stream) TableJoin(name string, p txn.Protocol, tbl *txn.Table, fn func(
 			if !keep {
 				continue
 			}
-			out.ch <- Element{Kind: KindData, Tuple: t, Tx: e.Tx}
+			b[w] = Element{Kind: KindData, Tuple: t, Tx: e.Tx}
+			w++
 		}
-	})
+		if w == 0 {
+			putBatch(b)
+			return
+		}
+		out.ch <- b[:w]
+	}, func() { close(out.ch) })
 	return out
 }

@@ -6,108 +6,104 @@ import (
 	"sistream/internal/txn"
 )
 
+// The stateless operators below are fused: they cost no goroutine and no
+// channel hop, running inline in whatever operator eventually consumes
+// the stream (see batch.go). Their per-element state, where any exists
+// (Punctuate), is touched by exactly one goroutine — the consumer's.
+//
+// The name parameters are kept for API stability; they were only ever
+// the (unused) goroutine label even in the operator-per-goroutine
+// engine, and fused stages cannot fail, so nothing references them.
+
 // Map transforms data tuples one-to-one; punctuations pass through.
 func (s *Stream) Map(name string, fn func(Tuple) Tuple) *Stream {
-	out := s.t.newStream()
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		for e := range s.ch {
-			if e.Kind == KindData {
-				e.Tuple = fn(e.Tuple)
-			}
-			out.ch <- e
+	_ = name
+	return s.fuse(func(e Element, emit func(Element)) {
+		if e.Kind == KindData {
+			e.Tuple = fn(e.Tuple)
 		}
-	})
-	return out
+		emit(e)
+	}, nil)
 }
 
 // Filter drops data tuples failing pred; punctuations pass through.
 func (s *Stream) Filter(name string, pred func(Tuple) bool) *Stream {
-	out := s.t.newStream()
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		for e := range s.ch {
-			if e.Kind == KindData && !pred(e.Tuple) {
-				continue
-			}
-			out.ch <- e
+	_ = name
+	return s.fuse(func(e Element, emit func(Element)) {
+		if e.Kind == KindData && !pred(e.Tuple) {
+			return
 		}
-	})
-	return out
+		emit(e)
+	}, nil)
 }
 
 // FlatMap maps one tuple to zero or more; punctuations pass through.
 func (s *Stream) FlatMap(name string, fn func(Tuple, func(Tuple))) *Stream {
-	out := s.t.newStream()
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		for e := range s.ch {
-			if e.Kind != KindData {
-				out.ch <- e
-				continue
-			}
-			fn(e.Tuple, func(t Tuple) {
-				out.ch <- Element{Kind: KindData, Tuple: t, Tx: e.Tx}
-			})
+	_ = name
+	return s.fuse(func(e Element, emit func(Element)) {
+		if e.Kind != KindData {
+			emit(e)
+			return
 		}
-	})
-	return out
+		tx := e.Tx
+		fn(e.Tuple, func(t Tuple) {
+			emit(Element{Kind: KindData, Tuple: t, Tx: tx})
+		})
+	}, nil)
 }
 
 // Punctuate inserts transaction boundary punctuations around groups of n
 // data tuples — the data-centric "auto-commit every n elements" policy.
 // Pre-existing punctuations in the input pass through and reset the
-// counter, so explicit boundaries win over the automatic ones.
+// counter, so explicit boundaries win over the automatic ones. The
+// inserted punctuations land in-band inside the current batch.
 func (s *Stream) Punctuate(n int) *Stream {
 	if n <= 0 {
 		panic("stream: Punctuate needs n >= 1")
 	}
-	out := s.t.newStream()
-	s.t.spawn("punctuate", func() {
-		defer close(out.ch)
-		// explicit: inside a transaction delimited by punctuations already
-		// present in the input — those are passed through untouched.
-		// auto: inside a transaction this operator opened itself.
-		var explicit, auto bool
-		count := 0
-		for e := range s.ch {
-			switch e.Kind {
-			case KindData:
-				if explicit {
-					out.ch <- e
-					break
-				}
-				if !auto {
-					out.ch <- Punctuation(KindBOT)
-					auto = true
-					count = 0
-				}
-				out.ch <- e
-				count++
-				if count >= n {
-					out.ch <- Punctuation(KindCommit)
-					auto = false
-				}
-			case KindBOT:
-				if auto {
-					// Close the automatic batch before the explicit one.
-					out.ch <- Punctuation(KindCommit)
-					auto = false
-				}
-				explicit = true
-				out.ch <- e
-			case KindCommit, KindRollback:
-				explicit = false
-				out.ch <- e
-			default:
-				out.ch <- e
+	// explicit: inside a transaction delimited by punctuations already
+	// present in the input — those are passed through untouched.
+	// auto: inside a transaction this operator opened itself.
+	var explicit, auto bool
+	count := 0
+	return s.fuse(func(e Element, emit func(Element)) {
+		switch e.Kind {
+		case KindData:
+			if explicit {
+				emit(e)
+				return
 			}
+			if !auto {
+				emit(Punctuation(KindBOT))
+				auto = true
+				count = 0
+			}
+			emit(e)
+			count++
+			if count >= n {
+				emit(Punctuation(KindCommit))
+				auto = false
+			}
+		case KindBOT:
+			if auto {
+				// Close the automatic batch before the explicit one.
+				emit(Punctuation(KindCommit))
+				auto = false
+			}
+			explicit = true
+			emit(e)
+		case KindCommit, KindRollback:
+			explicit = false
+			emit(e)
+		default:
+			emit(e)
 		}
+	}, func(emit func(Element)) {
 		if auto {
-			out.ch <- Punctuation(KindCommit)
+			emit(Punctuation(KindCommit))
+			auto = false
 		}
 	})
-	return out
 }
 
 // Transactions interprets punctuations against protocol p: BOT begins a
@@ -123,12 +119,17 @@ func (s *Stream) Punctuate(n int) *Stream {
 // a single ToTable the list may be empty.
 //
 // If Begin fails the error is recorded and the affected batch is dropped.
+//
+// Transactions runs as its own operator stage (not fused): its wait for
+// the previous transaction's decision must overlap with the downstream
+// operators processing that transaction, which requires a goroutine
+// boundary.
 func (s *Stream) Transactions(p txn.Protocol, tables ...*txn.Table) *Stream {
 	out := s.t.newStream()
-	s.t.spawn("transactions", func() {
-		defer close(out.ch)
-		var cur, prev *txn.Txn
-		for e := range s.ch {
+	var cur, prev *txn.Txn
+	ob := getBatch()
+	s.consume("transactions", func(b []Element) {
+		for _, e := range b {
 			switch e.Kind {
 			case KindBOT:
 				// Serialize the query's transactions: batch N+1 begins
@@ -138,6 +139,14 @@ func (s *Stream) Transactions(p txn.Protocol, tables ...*txn.Table) *Stream {
 				// First-Committer-Wins rule (or self-deadlock under
 				// S2PL) even though the query has a single writer.
 				if prev != nil {
+					// Ship everything accumulated so far FIRST: the
+					// previous transaction's COMMIT must reach the
+					// downstream coordinator, or its decision — the very
+					// thing being awaited — could never happen.
+					if len(ob) > 0 {
+						out.ch <- ob
+						ob = getBatch()
+					}
 					<-prev.Done()
 					prev = nil
 				}
@@ -155,21 +164,28 @@ func (s *Stream) Transactions(p txn.Protocol, tables ...*txn.Table) *Stream {
 				}
 				cur = tx
 				e.Tx = cur
-				out.ch <- e
 			case KindCommit, KindRollback:
 				e.Tx = cur
 				prev = cur
 				cur = nil
-				out.ch <- e
 			default:
 				e.Tx = cur
-				out.ch <- e
 			}
+			ob = append(ob, e)
 		}
+		putBatch(b)
+		if len(ob) > 0 {
+			out.ch <- ob
+			ob = getBatch()
+		}
+	}, func() {
 		// Input ended mid-transaction: roll the dangling transaction back.
 		if cur != nil {
 			_ = p.Abort(cur)
+			cur = nil
 		}
+		putBatch(ob)
+		close(out.ch)
 	})
 	return out
 }

@@ -24,6 +24,14 @@ type ToTableStats struct {
 // COMMIT, Abort on ROLLBACK. Elements pass through so further ToTable
 // operators can maintain additional states within the same transaction.
 //
+// The operator is vectorized: consecutive data tuples of one transaction
+// form a run that is applied with a single Protocol.WriteBatch call —
+// one state-entry resolution, one snapshot pin and one transaction-latch
+// acquisition per run instead of per tuple. Runs are cut at punctuations
+// and at batch boundaries (so writes are always applied before their
+// elements are forwarded downstream, exactly as in the per-element
+// engine).
+//
 // A conflict abort from the protocol (e.g. First-Committer-Wins) poisons
 // the rest of the batch: remaining writes up to the next BOT are skipped
 // and counted into stats.Aborts. The returned stats object is live.
@@ -31,45 +39,64 @@ func (s *Stream) ToTable(p txn.Protocol, tbl *txn.Table) (*Stream, *ToTableStats
 	out := s.t.newStream()
 	stats := &ToTableStats{}
 	name := "to_table/" + string(tbl.ID())
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		poisoned := false
-		for e := range s.ch {
+
+	var (
+		poisoned bool
+		runTx    *txn.Txn
+		ops      = make([]txn.WriteOp, 0, batchCap)
+	)
+	// flushRun applies the pending run through the batched write API.
+	// Counting matches the per-element engine: every applied write
+	// increments Writes; the first failing write poisons the transaction
+	// and counts one abort.
+	flushRun := func() {
+		if len(ops) == 0 {
+			return
+		}
+		n, err := p.WriteBatch(runTx, tbl, ops)
+		ops = ops[:0]
+		stats.Writes.Add(int64(n))
+		if err != nil {
+			poisoned = true
+			if txn.IsAbort(err) || err == txn.ErrFinished {
+				stats.Aborts.Add(1)
+			} else {
+				s.t.fail(name, err)
+			}
+		}
+	}
+
+	s.consume(name, func(b []Element) {
+		for _, e := range b {
 			switch e.Kind {
 			case KindBOT:
+				// A well-formed stream never has a pending run here; flush
+				// defensively so a malformed one can't cross transactions.
+				flushRun()
 				poisoned = false
+				runTx = nil
 			case KindData:
 				if e.Tx == nil || poisoned || e.Tuple.Key == "" {
-					break
+					continue
 				}
-				var err error
-				if e.Tuple.Delete {
-					err = p.Delete(e.Tx, tbl, e.Tuple.Key)
-				} else {
-					err = p.Write(e.Tx, tbl, e.Tuple.Key, e.Tuple.Value)
-				}
-				if err != nil {
-					if txn.IsAbort(err) || err == txn.ErrFinished {
-						poisoned = true
-						stats.Aborts.Add(1)
-					} else {
-						s.t.fail(name, err)
-						poisoned = true
-					}
-					break
-				}
-				stats.Writes.Add(1)
+				runTx = e.Tx
+				ops = append(ops, txn.WriteOp{
+					Key:    e.Tuple.Key,
+					Value:  e.Tuple.Value,
+					Delete: e.Tuple.Delete,
+				})
 			case KindCommit:
 				if e.Tx == nil {
-					break
+					continue
 				}
+				flushRun()
 				if poisoned {
 					// Someone (possibly this operator) already gave up on
 					// the transaction; make the abort global.
 					if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
 						s.t.fail(name, err)
 					}
-					break
+					continue
 				}
 				if err := p.CommitState(e.Tx, tbl); err != nil {
 					if txn.IsAbort(err) || err == txn.ErrFinished {
@@ -77,20 +104,27 @@ func (s *Stream) ToTable(p txn.Protocol, tbl *txn.Table) (*Stream, *ToTableStats
 					} else {
 						s.t.fail(name, err)
 					}
-					break
+					continue
 				}
 				stats.Commits.Add(1)
 			case KindRollback:
-				if e.Tx != nil {
-					if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
-						s.t.fail(name, err)
-					}
-					stats.Aborts.Add(1)
+				if e.Tx == nil {
+					continue
 				}
+				// Apply pending writes first so Writes counts them, as
+				// the per-element engine did; Abort discards them anyway.
+				flushRun()
+				if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
+					s.t.fail(name, err)
+				}
+				stats.Aborts.Add(1)
 			}
-			out.ch <- e
 		}
-	})
+		// Writes must be applied before downstream operators (a second
+		// ToTable, a TableJoin under the same transaction) see the batch.
+		flushRun()
+		out.ch <- b
+	}, func() { close(out.ch) })
 	return out, stats
 }
 
@@ -113,7 +147,9 @@ type TableChange struct {
 // element per changed row of tbl, in commit order. The element's Key is
 // the row key, Value/Num are the committed value (Num parsed when the
 // value is a decimal), Ts is the commit timestamp. The stream closes when
-// stop is called.
+// stop is called. Each commit's changes ship as one batch (split at
+// batchCap), so delivery stays prompt — a batch never waits for a later
+// commit.
 //
 // The feed buffers up to feedBuf commits; if a slow consumer falls that
 // far behind, the committing thread blocks (backpressure) — a deliberate
@@ -146,6 +182,7 @@ func ToStream(t *Topology, tbl *txn.Table, p txn.Protocol) (*Stream, func()) {
 	// emitted value is exactly what that transaction installed, even if
 	// later commits already overwrote it.
 	emit := func(ev commitEvent) {
+		b := getBatch()
 		for _, key := range ev.keys {
 			v, ok := tbl.ReadAt(key, ev.cts)
 			tuple := Tuple{Key: key, Ts: int64(ev.cts), Delete: !ok}
@@ -156,7 +193,16 @@ func ToStream(t *Topology, tbl *txn.Table, p txn.Protocol) (*Stream, func()) {
 					tuple.Num = n
 				}
 			}
-			out.ch <- Element{Kind: KindData, Tuple: tuple}
+			b = append(b, Element{Kind: KindData, Tuple: tuple})
+			if len(b) >= batchCap {
+				out.ch <- b
+				b = getBatch()
+			}
+		}
+		if len(b) > 0 {
+			out.ch <- b
+		} else {
+			putBatch(b)
 		}
 	}
 	t.spawn("to_stream/"+string(tbl.ID()), func() {

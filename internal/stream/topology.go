@@ -5,15 +5,11 @@ import (
 	"sync"
 )
 
-// chanBuf is the per-edge channel buffer; small enough for backpressure,
-// large enough to decouple operator scheduling.
-const chanBuf = 256
-
 // Topology is a dataflow graph under construction and, after Start, in
-// execution. Operators are goroutines; edges are channels of Elements.
-// Build the graph with Source and the Stream methods, then call Start
-// and Wait. The first operator error aborts bookkeeping and is returned
-// by Wait.
+// execution. Operators are goroutines; edges are channels of Element
+// batches (see batch.go for the vectorized execution model). Build the
+// graph with Source and the Stream methods, then call Start and Wait.
+// The first operator error aborts bookkeeping and is returned by Wait.
 type Topology struct {
 	name  string
 	start chan struct{}
@@ -68,14 +64,18 @@ func (t *Topology) Run() error {
 }
 
 // Stream is one dataflow edge: the output of an operator, consumable by
-// exactly one downstream operator (use Hub or Split for fan-out).
+// exactly one downstream operator (use Hub or Split for fan-out). A
+// Stream may additionally carry fused stages — stateless transforms the
+// eventual consumer applies inline (see batch.go) — so deriving a stream
+// with Map/Filter/... costs nothing at runtime.
 type Stream struct {
-	t  *Topology
-	ch chan Element
+	t      *Topology
+	ch     chan []Element
+	stages []fusedStage
 }
 
 func (t *Topology) newStream() *Stream {
-	return &Stream{t: t, ch: make(chan Element, chanBuf)}
+	return &Stream{t: t, ch: make(chan []Element, chanBuf)}
 }
 
 // spawn registers and launches one operator goroutine.
@@ -90,13 +90,18 @@ func (t *Topology) spawn(op string, body func()) {
 
 // Source creates a stream fed by gen, which emits elements until it
 // returns (nil for exhausted input, or an error). Generation begins when
-// the topology starts.
+// the topology starts. Emitted elements are delivered in batches: a
+// partial batch ships as soon as the edge has room, so delivery is
+// prompt whenever the consumer keeps up, and only a persistently full
+// edge (a backlogged consumer) makes batches grow toward batchCap.
 func (t *Topology) Source(name string, gen func(emit func(Element)) error) *Stream {
 	out := t.newStream()
 	t.spawn(name, func() {
-		defer close(out.ch)
 		<-t.start
-		if err := gen(func(e Element) { out.ch <- e }); err != nil {
+		em := newEmitter(out)
+		err := gen(em.emit)
+		em.close()
+		if err != nil {
 			t.fail(name, err)
 		}
 	})
@@ -104,50 +109,59 @@ func (t *Topology) Source(name string, gen func(emit func(Element)) error) *Stre
 }
 
 // SliceSource emits the given tuples as data elements (testing and
-// examples convenience).
+// examples convenience). The input is pre-chunked into full batches.
 func (t *Topology) SliceSource(name string, tuples []Tuple) *Stream {
-	return t.Source(name, func(emit func(Element)) error {
-		for _, tp := range tuples {
-			emit(DataElement(tp))
+	out := t.newStream()
+	t.spawn(name, func() {
+		defer close(out.ch)
+		<-t.start
+		for len(tuples) > 0 {
+			n := batchCap
+			if n > len(tuples) {
+				n = len(tuples)
+			}
+			b := getBatch()
+			for _, tp := range tuples[:n] {
+				b = append(b, DataElement(tp))
+			}
+			tuples = tuples[n:]
+			out.ch <- b
 		}
-		return nil
 	})
+	return out
 }
 
 // Sink consumes the stream, calling fn for every element.
 func (s *Stream) Sink(name string, fn func(Element)) {
-	s.t.spawn(name, func() {
-		for e := range s.ch {
+	s.consume(name, func(b []Element) {
+		for _, e := range b {
 			fn(e)
 		}
-	})
+		putBatch(b)
+	}, nil)
 }
 
 // Collect consumes the stream into a slice delivered on the returned
 // channel when the stream closes (testing convenience).
 func (s *Stream) Collect() <-chan []Element {
 	out := make(chan []Element, 1)
-	s.t.spawn("collect", func() {
-		var all []Element
-		for e := range s.ch {
-			all = append(all, e)
-		}
-		out <- all
-	})
+	var all []Element
+	s.consume("collect", func(b []Element) {
+		all = append(all, b...)
+		putBatch(b)
+	}, func() { out <- all })
 	return out
 }
 
 // Discard consumes and drops the stream (when only the operator's side
 // effects matter, e.g. after ToTable).
 func (s *Stream) Discard() {
-	s.t.spawn("discard", func() {
-		for range s.ch {
-		}
-	})
+	s.consume("discard", func(b []Element) { putBatch(b) }, nil)
 }
 
 // Merge fans several streams into one; element order across inputs is
-// arbitrary, order within an input is preserved.
+// arbitrary, order within an input is preserved. Batches are forwarded
+// whole — no copying.
 func Merge(name string, streams ...*Stream) *Stream {
 	if len(streams) == 0 {
 		panic("stream: Merge needs at least one input")
@@ -155,14 +169,9 @@ func Merge(name string, streams ...*Stream) *Stream {
 	t := streams[0].t
 	out := t.newStream()
 	var wg sync.WaitGroup
+	wg.Add(len(streams))
 	for _, in := range streams {
-		wg.Add(1)
-		t.spawn(name, func() {
-			defer wg.Done()
-			for e := range in.ch {
-				out.ch <- e
-			}
-		})
+		in.consume(name, func(b []Element) { out.ch <- b }, wg.Done)
 	}
 	t.spawn(name+"/closer", func() {
 		wg.Wait()
@@ -174,22 +183,23 @@ func Merge(name string, streams ...*Stream) *Stream {
 // Split duplicates the stream into n independent output streams, each
 // receiving every element (punctuations included). The transaction
 // handle is shared — that is what lets several TO_TABLE operators join
-// the same transaction.
+// the same transaction. Each output gets its own copy of every batch
+// (batches are single-owner; consumers may mutate them in place).
 func (s *Stream) Split(n int) []*Stream {
 	outs := make([]*Stream, n)
 	for i := range outs {
 		outs[i] = s.t.newStream()
 	}
-	s.t.spawn("split", func() {
-		defer func() {
-			for _, o := range outs {
-				close(o.ch)
-			}
-		}()
-		for e := range s.ch {
-			for _, o := range outs {
-				o.ch <- e
-			}
+	s.consume("split", func(b []Element) {
+		for _, o := range outs[1:] {
+			nb := getBatch()
+			nb = append(nb, b...)
+			o.ch <- nb
+		}
+		outs[0].ch <- b
+	}, func() {
+		for _, o := range outs {
+			close(o.ch)
 		}
 	})
 	return outs
@@ -202,29 +212,77 @@ func (s *Stream) Split(n int) []*Stream {
 type Hub struct {
 	t    *Topology
 	mu   sync.Mutex
-	subs map[int]*Stream
+	subs map[int]*hubSub
 	next int
 	done bool
 }
 
-// Hub consumes the stream and returns the attach-point.
+// hubSub is one subscription. Its mutex serializes delivery against
+// channel close, and done unblocks an in-flight delivery when the
+// subscriber detaches — so Detach never waits on a slow subscriber's
+// full channel.
+type hubSub struct {
+	st   *Stream
+	done chan struct{}
+
+	mu   sync.Mutex
+	gone bool
+}
+
+// close closes the subscriber's edge exactly once.
+func (sub *hubSub) close() {
+	sub.mu.Lock()
+	if !sub.gone {
+		sub.gone = true
+		close(sub.st.ch)
+	}
+	sub.mu.Unlock()
+}
+
+// Hub consumes the stream and returns the attach-point. Broadcasting
+// snapshots the subscriber list under the hub lock and delivers outside
+// it, so Attach and Detach never wait behind a slow subscriber, and a
+// stalled subscriber can always be detached (done interrupts its
+// in-flight delivery). Delivery itself is sequential: a subscriber with
+// a full channel still backpressures the hub — and thus later
+// subscribers in the same round — which is deliberate; the alternative
+// is dropping or buffering elements unboundedly.
 func (s *Stream) Hub() *Hub {
-	h := &Hub{t: s.t, subs: make(map[int]*Stream)}
-	s.t.spawn("hub", func() {
-		for e := range s.ch {
-			h.mu.Lock()
-			for _, sub := range h.subs {
-				sub.ch <- e
-			}
-			h.mu.Unlock()
+	h := &Hub{t: s.t, subs: make(map[int]*hubSub)}
+	var snap []*hubSub
+	s.consume("hub", func(b []Element) {
+		h.mu.Lock()
+		snap = snap[:0]
+		for _, sub := range h.subs {
+			snap = append(snap, sub)
 		}
+		h.mu.Unlock()
+		for _, sub := range snap {
+			sub.mu.Lock()
+			if !sub.gone {
+				nb := getBatch()
+				nb = append(nb, b...)
+				select {
+				case sub.st.ch <- nb:
+				case <-sub.done:
+					putBatch(nb)
+				}
+			}
+			sub.mu.Unlock()
+		}
+		putBatch(b)
+	}, func() {
 		h.mu.Lock()
 		h.done = true
+		subs := make([]*hubSub, 0, len(h.subs))
 		for id, sub := range h.subs {
-			close(sub.ch)
+			subs = append(subs, sub)
 			delete(h.subs, id)
 		}
 		h.mu.Unlock()
+		for _, sub := range subs {
+			sub.close()
+		}
 	})
 	return h
 }
@@ -233,22 +291,26 @@ func (s *Stream) Hub() *Hub {
 // stream closes when the hub's input closes or Detach is called.
 func (h *Hub) Attach() (*Stream, func()) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
-	sub := h.t.newStream()
+	sub := &hubSub{st: h.t.newStream(), done: make(chan struct{})}
 	if h.done {
-		close(sub.ch)
-		return sub, func() {}
+		h.mu.Unlock()
+		close(sub.st.ch)
+		return sub.st, func() {}
 	}
 	id := h.next
 	h.next++
 	h.subs[id] = sub
+	h.mu.Unlock()
 	detach := func() {
 		h.mu.Lock()
-		defer h.mu.Unlock()
-		if s, ok := h.subs[id]; ok {
-			delete(h.subs, id)
-			close(s.ch)
+		_, live := h.subs[id]
+		delete(h.subs, id)
+		h.mu.Unlock()
+		if !live {
+			return // already detached, or the hub closed it
 		}
+		close(sub.done)
+		sub.close()
 	}
-	return sub, detach
+	return sub.st, detach
 }

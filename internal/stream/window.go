@@ -57,18 +57,18 @@ var (
 // tuple (Key preserved, Num = agg(window), Ts from the triggering tuple).
 // This is the stateful "Window + Aggregate" operator pattern of the
 // paper's Figure 1; combined with ToTable its state becomes queryable.
-// Punctuations pass through.
+// Punctuations pass through. The operator is one-to-one, so batches are
+// aggregated in place and forwarded without copying.
 func (s *Stream) SlidingWindow(name string, size int, agg AggFunc) *Stream {
 	if size <= 0 {
 		panic("stream: SlidingWindow needs size >= 1")
 	}
 	out := s.t.newStream()
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		windows := map[string][]float64{}
-		for e := range s.ch {
+	windows := map[string][]float64{}
+	s.consume(name, func(b []Element) {
+		for i := range b {
+			e := &b[i]
 			if e.Kind != KindData {
-				out.ch <- e
 				continue
 			}
 			w := append(windows[e.Tuple.Key], e.Tuple.Num)
@@ -76,11 +76,10 @@ func (s *Stream) SlidingWindow(name string, size int, agg AggFunc) *Stream {
 				w = w[len(w)-size:]
 			}
 			windows[e.Tuple.Key] = w
-			agged := e
-			agged.Tuple.Num = agg(w)
-			out.ch <- agged
+			e.Tuple.Num = agg(w)
 		}
-	})
+		out.ch <- b
+	}, func() { close(out.ch) })
 	return out
 }
 
@@ -94,34 +93,41 @@ func (s *Stream) TumblingWindow(name string, size int64, agg AggFunc) *Stream {
 		panic("stream: TumblingWindow needs size >= 1")
 	}
 	out := s.t.newStream()
-	s.t.spawn(name, func() {
-		defer close(out.ch)
-		type win struct {
-			start  int64
-			values []float64
-			last   Tuple
+	type win struct {
+		start  int64
+		values []float64
+		last   Tuple
+	}
+	wins := map[string]*win{}
+	flush := func(w *win, tx *Element, ob []Element) []Element {
+		t := w.last
+		t.Num = agg(w.values)
+		t.Ts = w.start
+		e := Element{Kind: KindData, Tuple: t}
+		if tx != nil {
+			e.Tx = tx.Tx
 		}
-		wins := map[string]*win{}
-		flush := func(k string, w *win, tx *Element) {
-			t := w.last
-			t.Num = agg(w.values)
-			t.Ts = w.start
-			e := Element{Kind: KindData, Tuple: t}
-			if tx != nil {
-				e.Tx = tx.Tx
-			}
-			out.ch <- e
+		return append(ob, e)
+	}
+	send := func(ob []Element) {
+		if len(ob) > 0 {
+			out.ch <- ob
+		} else {
+			putBatch(ob)
 		}
-		for e := range s.ch {
+	}
+	s.consume(name, func(b []Element) {
+		ob := getBatch()
+		for _, e := range b {
 			if e.Kind != KindData {
-				out.ch <- e
+				ob = append(ob, e)
 				continue
 			}
 			k := e.Tuple.Key
 			start := (e.Tuple.Ts / size) * size
 			w := wins[k]
 			if w != nil && w.start != start {
-				flush(k, w, &e)
+				ob = flush(w, &e, ob)
 				w = nil
 			}
 			if w == nil {
@@ -131,9 +137,15 @@ func (s *Stream) TumblingWindow(name string, size int64, agg AggFunc) *Stream {
 			w.values = append(w.values, e.Tuple.Num)
 			w.last = e.Tuple
 		}
-		for k, w := range wins {
-			flush(k, w, nil)
+		putBatch(b)
+		send(ob)
+	}, func() {
+		ob := getBatch()
+		for _, w := range wins {
+			ob = flush(w, nil, ob)
 		}
+		send(ob)
+		close(out.ch)
 	})
 	return out
 }

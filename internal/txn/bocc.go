@@ -77,7 +77,7 @@ func (p *BOCC) Read(tx *Txn, tbl *Table, key string) ([]byte, bool, error) {
 		return nil, false, ErrFinished
 	}
 	if e, ok := tx.states[tbl.id]; ok {
-		if op, dirty := e.writes[key]; dirty {
+		if op, dirty := e.get(key); dirty {
 			v, del := op.value, op.delete
 			tx.mu.Unlock()
 			if del {
@@ -100,6 +100,12 @@ func (p *BOCC) Write(tx *Txn, tbl *Table, key string, value []byte) error {
 // Delete implements Protocol.
 func (p *BOCC) Delete(tx *Txn, tbl *Table, key string) error {
 	return bufferWrite(tx, tbl, key, writeOp{delete: true})
+}
+
+// WriteBatch implements Protocol: pure write-set appends (BOCC takes no
+// locks and pins no snapshot on write), one latch acquisition per batch.
+func (p *BOCC) WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error) {
+	return bufferWriteBatch(tx, tbl, ops, false)
 }
 
 // CommitState implements Protocol.

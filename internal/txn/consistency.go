@@ -42,6 +42,14 @@ type Protocol interface {
 	Write(tx *Txn, tbl *Table, key string, value []byte) error
 	// Delete buffers a deletion of key in tbl.
 	Delete(tx *Txn, tbl *Table, key string) error
+	// WriteBatch buffers a batch of updates/deletions of one table,
+	// equivalent to the same sequence of Write/Delete calls but with the
+	// per-call overhead — state-entry resolution, snapshot pinning, the
+	// transaction latch — paid once per batch. It returns the number of
+	// operations applied; on error the transaction is aborted exactly as
+	// the corresponding single-operation call would have aborted it, and
+	// operations from the failing one onward are not applied.
+	WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error)
 	// CommitState flags tbl as ready to commit for tx; when it is the
 	// last accessed state, the caller executes the global commit
 	// (consistency protocol, Section 4.3).
@@ -102,6 +110,81 @@ func bufferWrite(tx *Txn, tbl *Table, key string, op writeOp) error {
 	}
 	tx.entry(tbl).write(key, op)
 	return nil
+}
+
+// bufferWriteBatch appends a whole batch of operations to tx's write set
+// under a single latch acquisition — the batched analogue of bufferWrite.
+// Values are copied, as with single writes. When pin is set the table's
+// group snapshot is pinned first (SI semantics; see SI.Write).
+func bufferWriteBatch(tx *Txn, tbl *Table, ops []WriteOp, pin bool) (int, error) {
+	if tx.readOnly {
+		return 0, fmt.Errorf("txn: write in read-only transaction %d", tx.id)
+	}
+	if err := requireGroup(tbl); err != nil {
+		return 0, err
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.finished.Load() {
+		return 0, ErrFinished
+	}
+	if pin {
+		tx.pin(tbl)
+	}
+	e := tx.entry(tbl)
+	e.grow(len(ops))
+	for _, op := range ops {
+		if op.Delete {
+			e.write(op.Key, writeOp{delete: true})
+		} else {
+			e.write(op.Key, writeOp{value: append([]byte(nil), op.Value...)})
+		}
+	}
+	return len(ops), nil
+}
+
+// storeBatch is the per-base-store coalesced durability batch built by a
+// commit: all row writes plus the LastCTS watermark, applied with one
+// (optionally synchronous) Apply. The group-commit leader caches one per
+// store on the Group (leader-owned under commitMu), so the ops array and
+// the row-key arena are reused across tenures instead of reallocated per
+// batch.
+type storeBatch struct {
+	store kv.Store
+	batch *kv.Batch
+	sync  bool
+	arena []byte // backing for all row keys of this batch
+}
+
+// storeScratch returns the group's cached scratch batch for st, reset for
+// a new tenure. Caller holds g.commitMu.
+func (g *Group) storeScratch(st kv.Store) *storeBatch {
+	if g.sbCache == nil {
+		g.sbCache = make(map[kv.Store]*storeBatch, 1)
+	}
+	sb := g.sbCache[st]
+	if sb == nil {
+		sb = &storeBatch{store: st, batch: kv.NewBatch(0)}
+		g.sbCache[st] = sb
+	}
+	sb.batch.Reset()
+	sb.arena = sb.arena[:0]
+	sb.sync = false
+	return sb
+}
+
+// recycleTxn returns a finished transaction's write-set storage to the
+// entry pool. orderRetained marks entries whose key order escaped to a
+// commit watcher (TO_STREAM holds those slices asynchronously). Safe only
+// once the transaction is finished: the finished flag (checked under
+// tx.mu by every accessor) guarantees no goroutine reaches the entries.
+func recycleTxn(tx *Txn, orderRetained bool) {
+	tx.mu.Lock()
+	for _, e := range tx.states {
+		e.recycle(orderRetained && len(e.order) > 0)
+	}
+	tx.states = nil
+	tx.mu.Unlock()
 }
 
 // commitState implements the per-state flag protocol. finishFn runs the
@@ -176,10 +259,9 @@ func (p *protocolBase) abort(tx *Txn) error {
 		return ErrFinished
 	}
 	for _, e := range tx.states {
-		e.status = StatusAbort
-		e.writes = nil
-		e.order = nil
+		e.recycle(false)
 	}
+	tx.states = nil
 	tx.mu.Unlock()
 	close(tx.done)
 	p.ctx.unregister(tx)
@@ -280,6 +362,7 @@ func (p *protocolBase) installCommit(tx *Txn, admit func(*commitOverlay) error) 
 	case 0:
 		// Nothing written (read-only or empty transaction).
 		p.finish(tx)
+		recycleTxn(tx, false)
 		return nil
 	case 1:
 		return p.groupCommit(groups[0], tx, admit)
@@ -467,38 +550,49 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	}
 
 	// Phase 3: durability, one coalesced batch per distinct base store.
-	type storeBatch struct {
-		store kv.Store
-		batch *kv.Batch
-		sync  bool
-	}
+	// The scratch batches (ops array, row-key arena) are cached on the
+	// group across tenures, so coalescing allocates nothing steady-state.
 	var (
 		batches []*storeBatch
-		byStore = map[kv.Store]*storeBatch{}
 		tables  []*Table
-		seenTbl = map[*Table]bool{}
 	)
+	getSB := func(st kv.Store) *storeBatch {
+		for _, sb := range batches {
+			if sb.store == st {
+				return sb
+			}
+		}
+		sb := g.storeScratch(st)
+		batches = append(batches, sb)
+		return sb
+	}
 	for _, req := range admitted {
 		for _, e := range req.entries {
-			sb, ok := byStore[e.table.store]
-			if !ok {
-				sb = &storeBatch{store: e.table.store, batch: kv.NewBatch(len(e.order) + 1)}
-				byStore[e.table.store] = sb
-				batches = append(batches, sb)
-			}
-			for _, key := range e.order {
-				op := e.writes[key]
+			sb := getSB(e.table.store)
+			for i, key := range e.order {
+				op := &e.ops[i]
+				off := len(sb.arena)
+				sb.arena = e.table.appendRowKey(sb.arena, key)
+				rk := sb.arena[off:len(sb.arena):len(sb.arena)]
+				// Owned variants: the arena outlives the Apply, and the
+				// write-set values are immutable private copies.
 				if op.delete {
-					sb.batch.Delete(e.table.rowKey(key))
+					sb.batch.DeleteOwned(rk)
 				} else {
-					sb.batch.Put(e.table.rowKey(key), op.value)
+					sb.batch.PutOwned(rk, op.value)
 				}
 			}
 			if e.table.opts.SyncCommits {
 				sb.sync = true
 			}
-			if !seenTbl[e.table] {
-				seenTbl[e.table] = true
+			seen := false
+			for _, t := range tables {
+				if t == e.table {
+					seen = true
+					break
+				}
+			}
+			if !seen {
 				tables = append(tables, e.table)
 			}
 		}
@@ -506,7 +600,7 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	// One watermark per touched table: everything below maxCTS in this
 	// store is durable together with it.
 	for _, tbl := range tables {
-		byStore[tbl.store].batch.Put(tbl.metaKey(), encodeTS(maxCTS))
+		getSB(tbl.store).batch.PutOwned(tbl.metaKey(), encodeTS(maxCTS))
 	}
 	for _, sb := range batches {
 		if err := sb.store.Apply(sb.batch, sb.sync); err != nil {
@@ -521,11 +615,17 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	}
 
 	// Phase 4: in-memory version install, ascending commit timestamps.
+	// Admission already resolved most objects (op.obj); only keys created
+	// by this very batch still need the registry.
 	for _, req := range admitted {
 		for _, e := range req.entries {
-			for _, key := range e.order {
-				op := e.writes[key]
-				if err := e.table.object(key, true).Install(req.cts, op.value, op.delete, horizon); err != nil {
+			for i, key := range e.order {
+				op := &e.ops[i]
+				o := op.obj
+				if o == nil {
+					o = e.table.object(key, true)
+				}
+				if err := o.Install(req.cts, op.value, op.delete, horizon); err != nil {
 					panic(fmt.Sprintf("txn: install invariant violated: %v", err))
 				}
 			}
@@ -548,10 +648,12 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 			}
 			writes[e.table.id] = e.order
 		}
+		retained := false
 		if writes != nil {
-			g.notify(req.cts, writes)
+			retained = g.notify(req.cts, writes)
 		}
 		p.finish(req.tx)
+		recycleTxn(req.tx, retained)
 		close(req.ready)
 	}
 }
@@ -596,8 +698,8 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			byStore[e.table.store] = sb
 			batches = append(batches, sb)
 		}
-		for _, key := range e.order {
-			op := e.writes[key]
+		for i, key := range e.order {
+			op := &e.ops[i]
 			if op.delete {
 				sb.batch.Delete(e.table.rowKey(key))
 			} else {
@@ -622,8 +724,8 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 
 	// In-memory version install.
 	for _, e := range entries {
-		for _, key := range e.order {
-			op := e.writes[key]
+		for i, key := range e.order {
+			op := &e.ops[i]
 			if err := e.table.object(key, true).Install(cts, op.value, op.delete, horizon); err != nil {
 				panic(fmt.Sprintf("txn: install invariant violated: %v", err))
 			}
@@ -631,6 +733,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 	}
 
 	// Atomic visibility, then commit watchers per group.
+	retained := false
 	for _, g := range groups {
 		g.lastCTS.Store(cts)
 		g.commitTxns.Add(1)
@@ -647,11 +750,12 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			}
 			writes[e.table.id] = e.order
 		}
-		if writes != nil {
-			g.notify(cts, writes)
+		if writes != nil && g.notify(cts, writes) {
+			retained = true
 		}
 	}
 	p.finish(tx)
+	recycleTxn(tx, retained)
 	return nil
 }
 
@@ -664,10 +768,9 @@ func (p *protocolBase) abortLocked(tx *Txn) {
 		return
 	}
 	for _, e := range tx.states {
-		e.status = StatusAbort
-		e.writes = nil
-		e.order = nil
+		e.recycle(false)
 	}
+	tx.states = nil
 	tx.mu.Unlock()
 	close(tx.done)
 	p.ctx.unregister(tx)

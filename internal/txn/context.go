@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"sistream/internal/kv"
 )
 
 // maxActiveTxns bounds the active-transaction table. The paper manages
@@ -213,6 +215,11 @@ type Group struct {
 	wake         chan struct{} // nudges a leader collecting its next batch
 	batchTarget  int           // previous batch size; leader-owned under commitMu
 
+	// sbCache holds the leader's per-store durability-batch scratch,
+	// reused across tenures; leader-owned under commitMu (see
+	// storeScratch).
+	sbCache map[kv.Store]*storeBatch
+
 	// Pipeline counters (diagnostics and bench reporting): transactions
 	// globally committed through this group and the number of leader
 	// batches that carried them. txns/batches is the achieved group-commit
@@ -250,14 +257,16 @@ func (g *Group) Watch(w CommitWatcher) {
 	g.watchers = append(g.watchers, w)
 }
 
-// notify invokes all watchers.
-func (g *Group) notify(cts Timestamp, writes map[StateID][]string) {
+// notify invokes all watchers, reporting whether any ran (and may thus
+// retain the shared key slices).
+func (g *Group) notify(cts Timestamp, writes map[StateID][]string) bool {
 	g.watcherMu.RLock()
 	ws := g.watchers
 	g.watcherMu.RUnlock()
 	for _, w := range ws {
 		w(cts, writes)
 	}
+	return len(ws) > 0
 }
 
 // ID returns the group identifier.

@@ -50,7 +50,7 @@ func (p *S2PL) Read(tx *Txn, tbl *Table, key string) ([]byte, bool, error) {
 		return nil, false, ErrFinished
 	}
 	if e, ok := tx.states[tbl.id]; ok {
-		if op, dirty := e.writes[key]; dirty {
+		if op, dirty := e.get(key); dirty {
 			v, del := op.value, op.delete
 			tx.mu.Unlock()
 			if del {
@@ -81,6 +81,28 @@ func (p *S2PL) Write(tx *Txn, tbl *Table, key string, value []byte) error {
 		return err
 	}
 	return bufferWrite(tx, tbl, key, writeOp{value: append([]byte(nil), value...)})
+}
+
+// WriteBatch implements Protocol: exclusive locks are still acquired per
+// key (that is what S2PL is), but the write-set buffering pays the
+// transaction latch once per batch. A wait-die kill at the i-th lock
+// aborts the transaction and reports i operations applied, matching the
+// per-operation sequence (writes before the failure counted, the write
+// set discarded by the abort either way).
+func (p *S2PL) WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error) {
+	if err := requireGroup(tbl); err != nil {
+		return 0, err
+	}
+	if tx.finished.Load() {
+		return 0, ErrFinished
+	}
+	for i, op := range ops {
+		if err := p.locks.acquire(tx, tbl.id, op.Key, lockExclusive); err != nil {
+			p.abortInternal(tx)
+			return i, err
+		}
+	}
+	return bufferWriteBatch(tx, tbl, ops, false)
 }
 
 // Delete implements Protocol.

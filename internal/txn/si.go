@@ -53,7 +53,7 @@ func (p *SI) Read(tx *Txn, tbl *Table, key string) ([]byte, bool, error) {
 		return nil, false, ErrFinished
 	}
 	if e, ok := tx.states[tbl.id]; ok {
-		if op, dirty := e.writes[key]; dirty {
+		if op, dirty := e.get(key); dirty {
 			v, del := op.value, op.delete
 			tx.mu.Unlock()
 			if del {
@@ -89,6 +89,14 @@ func (p *SI) Write(tx *Txn, tbl *Table, key string, value []byte) error {
 	return bufferWrite(tx, tbl, key, writeOp{value: append([]byte(nil), value...)})
 }
 
+// WriteBatch implements Protocol: one snapshot pin, one state-entry
+// resolution and one latch acquisition for the whole batch. This is the
+// fast path of the vectorized TO_TABLE operator — per-tuple cost reduces
+// to appending to the write set.
+func (p *SI) WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error) {
+	return bufferWriteBatch(tx, tbl, ops, true)
+}
+
 // Delete implements Protocol (see Write for snapshot pinning).
 func (p *SI) Delete(tx *Txn, tbl *Table, key string) error {
 	if err := requireGroup(tbl); err != nil {
@@ -119,8 +127,21 @@ func (p *SI) admitFCW(tx *Txn, ov *commitOverlay) error {
 		if pinned, ok := tx.readCTS[e.table.group.id]; ok {
 			snapshot = pinned
 		}
-		for _, key := range e.order {
-			if latest := ov.latestCTS(e.table, key); latest > snapshot {
+		for i, key := range e.order {
+			// Resolve the MVCC object once here and cache it for the
+			// install phase (both run under the commit latch).
+			o := e.table.object(key, false)
+			e.ops[i].obj = o
+			var latest Timestamp
+			if o != nil {
+				latest = o.LatestCTS()
+			}
+			if ov != nil {
+				if ts := ov.pending[e.table][key]; ts > latest {
+					latest = ts
+				}
+			}
+			if latest > snapshot {
 				return fmt.Errorf("%w: state %q key %q (latest %d > snapshot %d)",
 					ErrConflict, e.table.id, key, latest, snapshot)
 			}

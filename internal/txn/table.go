@@ -80,6 +80,17 @@ func (t *Table) rowKey(key string) []byte {
 	return []byte("s/" + string(t.id) + "/" + key)
 }
 
+// appendRowKey appends the namespaced row key for key to dst and returns
+// the extended slice — the allocation-free variant of rowKey used by the
+// group-commit batch builder, which lays all row keys of one durability
+// batch into a single arena.
+func (t *Table) appendRowKey(dst []byte, key string) []byte {
+	dst = append(dst, 's', '/')
+	dst = append(dst, t.id...)
+	dst = append(dst, '/')
+	return append(dst, key...)
+}
+
 // metaKey holds the group's LastCTS in this table's base store; written
 // as part of every commit batch so that durability of data and of the
 // visibility watermark are a single atomic unit per store.

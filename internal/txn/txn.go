@@ -88,28 +88,106 @@ var (
 // any reason) and should be retried by the caller.
 func IsAbort(err error) bool { return errors.Is(err, ErrAborted) }
 
-// writeOp is one buffered, uncommitted modification.
+// writeOp is one buffered, uncommitted modification. obj caches the
+// key's MVCC object once a commit phase has resolved it (admission does,
+// under the commit latch), so the install phase skips a second registry
+// lookup; objects are never replaced once created, so the cache cannot
+// go stale.
 type writeOp struct {
 	value  []byte
 	delete bool
+	obj    *mvcc.Object
+}
+
+// WriteOp is one operation of a batched write (Protocol.WriteBatch): an
+// update of Key to Value, or a deletion of Key when Delete is set.
+type WriteOp struct {
+	Key    string
+	Value  []byte
+	Delete bool
 }
 
 // stateEntry is a transaction's per-state bookkeeping: the status flag of
 // the consistency protocol plus the uncommitted write set ("dirty array"
-// in the paper's Figure 3).
+// in the paper's Figure 3). The write set is laid out as parallel slices
+// in first-write order — the layout every commit phase iterates — with a
+// key index map used only for deduplication and read-your-own-writes
+// lookups, so the commit path never pays a map access per key.
 type stateEntry struct {
 	table  *Table
 	status Status
-	writes map[string]writeOp
-	// order preserves first-write order for deterministic batch layout.
+	// idx maps a key to its position in order/ops.
+	idx map[string]int
+	// order preserves first-write order for deterministic batch layout;
+	// ops is parallel to it.
 	order []string
+	ops   []writeOp
+}
+
+// entryPool recycles write-set storage across transactions: a recycled
+// entry keeps its map buckets (clear() preserves them) and slice backing
+// arrays, so a steady-state stream query allocates no write-set storage
+// per transaction at all.
+var entryPool = sync.Pool{New: func() any { return new(stateEntry) }}
+
+func newStateEntry(tbl *Table) *stateEntry {
+	e := entryPool.Get().(*stateEntry)
+	e.table = tbl
+	e.status = StatusActive
+	return e
+}
+
+// recycle returns the entry's storage to the pool. orderRetained marks
+// entries whose order slice escaped through a commit watcher (TO_STREAM
+// holds it asynchronously); those lose the slice instead of reusing it.
+// Callers must guarantee the owning transaction is finished and no other
+// goroutine can reach the entry anymore.
+func (e *stateEntry) recycle(orderRetained bool) {
+	clear(e.idx) // keeps the buckets
+	if orderRetained {
+		e.order = nil
+	} else {
+		clear(e.order)
+		e.order = e.order[:0]
+	}
+	clear(e.ops) // drop value references
+	e.ops = e.ops[:0]
+	e.table = nil
+	e.status = StatusActive
+	entryPool.Put(e)
+}
+
+// grow presizes the write set for at least n upcoming writes, avoiding
+// incremental map/slice growth on the batched write path.
+func (e *stateEntry) grow(n int) {
+	if e.idx == nil {
+		if n < 8 {
+			n = 8
+		}
+		e.idx = make(map[string]int, n)
+		e.order = make([]string, 0, n)
+		e.ops = make([]writeOp, 0, n)
+	}
 }
 
 func (e *stateEntry) write(key string, op writeOp) {
-	if _, seen := e.writes[key]; !seen {
-		e.order = append(e.order, key)
+	if i, seen := e.idx[key]; seen {
+		e.ops[i] = op
+		return
 	}
-	e.writes[key] = op
+	e.grow(0)
+	e.idx[key] = len(e.order)
+	e.order = append(e.order, key)
+	e.ops = append(e.ops, op)
+}
+
+// get returns the buffered operation for key, if any (read-your-writes).
+func (e *stateEntry) get(key string) (writeOp, bool) {
+	i, ok := e.idx[key]
+	if !ok {
+		return writeOp{}, false
+	}
+	return e.ops[i], true
 }
 
 // Txn is a transaction handle. A Txn is owned by the goroutines of one
@@ -181,7 +259,7 @@ func (t *Txn) ReadOnly() bool { return t.readOnly }
 func (t *Txn) entry(tbl *Table) *stateEntry {
 	e, ok := t.states[tbl.id]
 	if !ok {
-		e = &stateEntry{table: tbl, status: StatusActive, writes: make(map[string]writeOp)}
+		e = newStateEntry(tbl)
 		t.states[tbl.id] = e
 	}
 	return e

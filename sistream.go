@@ -25,9 +25,16 @@
 //     Transactions spanning groups fall back to taking every involved
 //     group's commit latch in canonical order, so cross-group commits
 //     stay deadlock-free and atomic.
-//   - Per-key version arrays are immutable RCU snapshots behind an
-//     atomic pointer: a snapshot read never contends with the commit
-//     apply path, however hot the key.
+//   - Per-key version arrays are append-in-place RCU: versions ascend by
+//     commit timestamp, a new version is published by one atomic store of
+//     the element count and readers scan lock-free — a snapshot read
+//     never contends with the commit apply path, however hot the key,
+//     and the install fast path allocates nothing but the value.
+//   - The dataflow engine is vectorized: edges carry element batches,
+//     chains of stateless operators fuse into their consumer's goroutine,
+//     and TO_TABLE applies each transaction's tuples through a batched
+//     write API (Protocol.WriteBatch) — one snapshot pin and one latch
+//     acquisition per batch. See DESIGN.md "Vectorized dataflow".
 //
 // Group.CommitStats reports the pipeline's achieved batching;
 // cmd/sibench -scaling sweeps it against writer concurrency.
