@@ -280,6 +280,34 @@ func BenchmarkIngest(b *testing.B) {
 	b.ReportMetric(res.ElemsPerSec, "elems/s")
 }
 
+// BenchmarkIngestLanes sweeps the parallel keyed ingest lanes
+// (stream.Parallelize): the same single-writer query as BenchmarkIngest,
+// hash-partitioned into N lanes with per-lane TO_TABLE write paths and a
+// transaction-preserving commit barrier. On a multi-core box the
+// per-element work (operator chains, write-set building, value copies)
+// runs on N cores; lanes=1 selects the sequential spine (identical to
+// BenchmarkIngest), so the lanes=1 vs lanes=N delta is the full cost —
+// router, broadcast, barrier — against the parallel gain.
+func BenchmarkIngestLanes(b *testing.B) {
+	for _, lanes := range []int{1, 2, 4} {
+		b.Run("lanes="+itoa(lanes), func(b *testing.B) {
+			cfg := bench.DefaultIngest()
+			cfg.Elements = b.N
+			cfg.CommitEvery = 100
+			cfg.Keys = 100_000
+			cfg.Lanes = lanes
+			res, err := bench.RunIngest(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Aborts != 0 {
+				b.Fatalf("single-writer ingest aborted %d transactions", res.Aborts)
+			}
+			b.ReportMetric(res.ElemsPerSec, "elems/s")
+		})
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

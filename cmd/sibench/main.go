@@ -10,7 +10,10 @@
 //	sibench -cell -protocol mvcc -theta 2 -readers 24   # one cell
 //	sibench -scaling                     # commit-path scaling: writers 1..16
 //	sibench -ingest                      # dataflow ingest rate (elems/s)
-//	sibench -ingest -json                # ... as JSON (BENCH_ingest.json)
+//	sibench -ingest -lanes 4             # ... with 4 parallel keyed lanes
+//	sibench -ingest -json                # ... as one JSON object
+//	sibench -ingest -lanesweep -json     # lanes 1,2,4,8 as a JSON array
+//	                                     # (the BENCH_ingest.json format)
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
@@ -37,7 +40,9 @@ func main() {
 		elements  = flag.Int("elements", 1_000_000, "ingest: data elements pushed through the pipeline")
 		every     = flag.Int("commitevery", 100, "ingest: tuples per transaction (punctuation interval)")
 		keys      = flag.Int("keys", 100_000, "ingest: distinct keys cycled through")
-		jsonOut   = flag.Bool("json", false, "ingest: JSON output (BENCH_ingest.json format)")
+		lanes     = flag.Int("lanes", 1, "ingest: parallel keyed lanes (1 = sequential spine)")
+		laneSweep = flag.Bool("lanesweep", false, "ingest: sweep lanes 1,2,4,8 (JSON: array of results)")
+		jsonOut   = flag.Bool("json", false, "ingest: JSON output (one object; with -lanesweep, the BENCH_ingest.json array)")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
 		backend   = flag.String("backend", "lsm", "mem | lsm")
 		dir       = flag.String("dir", "", "LSM data directory (default: temp)")
@@ -95,6 +100,27 @@ func main() {
 		icfg.CommitEvery = *every
 		icfg.Keys = *keys
 		icfg.Sync = *sync
+		icfg.Lanes = *lanes
+		if *laneSweep {
+			var results []bench.IngestResult
+			for _, l := range []int{1, 2, 4, 8} {
+				icfg.Lanes = l
+				res, err := bench.RunIngest(icfg)
+				if err != nil {
+					fatal(err)
+				}
+				results = append(results, res)
+				if !*jsonOut {
+					bench.PrintIngest(os.Stdout, res)
+				}
+			}
+			if *jsonOut {
+				if err := bench.WriteIngestJSON(os.Stdout, results); err != nil {
+					fatal(err)
+				}
+			}
+			return
+		}
 		res, err := bench.RunIngest(icfg)
 		if err != nil {
 			fatal(err)

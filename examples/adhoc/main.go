@@ -8,6 +8,7 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"log"
 	"sync"
@@ -18,6 +19,10 @@ import (
 )
 
 func main() {
+	roundsFlag := flag.Uint64("rounds", 5000, "writer transactions to run")
+	flag.Parse()
+	rounds := *roundsFlag
+
 	store := sistream.NewMemStore()
 	defer store.Close()
 	ctx := sistream.NewContext()
@@ -36,7 +41,6 @@ func main() {
 
 	// The invariant: accounts["total"] always equals audit["total"].
 	// Each transaction bumps both; a torn read would catch them apart.
-	const rounds = 5000
 	var wg sync.WaitGroup
 	var checked, torn, aborted atomic.Int64
 	stop := make(chan struct{})

@@ -36,6 +36,12 @@ type IngestConfig struct {
 	ValueBytes int
 	// Sync makes commits durable before visible.
 	Sync bool
+	// Lanes partitions the query into parallel keyed ingest lanes
+	// (stream.Parallelize): tuples are hash-routed into Lanes independent
+	// operator chains with per-lane TO_TABLE write paths, re-serialized
+	// at a transaction-preserving merge barrier. 0 or 1 selects the
+	// sequential single-writer spine.
+	Lanes int
 }
 
 // DefaultIngest returns a quick single-writer in-memory configuration.
@@ -68,6 +74,9 @@ func (c *IngestConfig) validate() error {
 	}
 	if c.Elements < 1 || c.CommitEvery < 1 || c.Keys < 1 {
 		return fmt.Errorf("bench: non-positive size parameter")
+	}
+	if c.Lanes < 0 {
+		return fmt.Errorf("bench: negative lane count")
 	}
 	if c.KeyBytes < 1 {
 		c.KeyBytes = 8
@@ -154,8 +163,15 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		return nil
 	})
 	s := src.Punctuate(cfg.CommitEvery).Transactions(p)
-	s, stats := s.ToTable(p, tbl)
-	s.Discard()
+	var stats *stream.ToTableStats
+	if cfg.Lanes > 1 {
+		region := s.Parallelize(cfg.Lanes, nil)
+		stats = region.ToTable(p, tbl)
+		region.Merge("merge").Discard()
+	} else {
+		s, stats = s.ToTable(p, tbl)
+		s.Discard()
+	}
 
 	start := time.Now()
 	if err := top.Run(); err != nil {
@@ -182,11 +198,23 @@ func (r IngestResult) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
+// WriteIngestJSON renders a sweep of results (sibench -ingest -lanesweep
+// -json) as one indented JSON array.
+func WriteIngestJSON(w io.Writer, results []IngestResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
 // PrintIngest renders one ingest result verbosely.
 func PrintIngest(w io.Writer, r IngestResult) {
 	c := r.Config
-	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t\n",
-		c.Protocol, c.Backend, c.Elements, c.CommitEvery, c.Keys, c.Sync)
+	lanes := c.Lanes
+	if lanes < 1 {
+		lanes = 1
+	}
+	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t lanes=%d\n",
+		c.Protocol, c.Backend, c.Elements, c.CommitEvery, c.Keys, c.Sync, lanes)
 	fmt.Fprintf(w, "  throughput %12.0f elems/s  (%d writes in %v)\n", r.ElemsPerSec, r.Writes, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  txns       commits=%d aborts=%d\n", r.Commits, r.Aborts)
 	fanIn := 0.0

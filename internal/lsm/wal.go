@@ -75,7 +75,14 @@ func (w *walWriter) close() error {
 }
 
 // replayWAL reads records from path in order, calling apply for each
-// decoded batch. It tolerates (and stops at) a torn final record.
+// decoded batch. It tolerates (and stops at) a torn FINAL record — a
+// partial write from a crash mid-append, which was never acknowledged as
+// durable — but a record that fails its CRC (or declares an implausible
+// length) with more log data after it is mid-file corruption: records
+// beyond it WERE acknowledged durable, so silently dropping them would be
+// data loss. That case surfaces errCorrupt with the record's offset; the
+// torn-tail test is purely physical — the broken record must extend to
+// the end of the file.
 func replayWAL(path string, apply func(ops []walOp) error) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -85,8 +92,20 @@ func replayWAL(path string, apply func(ops []walOp) error) error {
 		return err
 	}
 	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := fi.Size()
 	r := bufio.NewReaderSize(f, 1<<16)
-	var hdr [8]byte
+	var (
+		hdr [8]byte
+		off int64 // offset of the current record's header
+	)
+	// tornTail reports whether a record at off declaring n payload bytes
+	// reaches (or overruns) the physical end of the log — the only place
+	// a partial append can live.
+	tornTail := func(n uint32) bool { return off+8+int64(n) >= size }
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -97,25 +116,36 @@ func replayWAL(path string, apply func(ops []walOp) error) error {
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
 		if n > 1<<30 {
-			return nil // implausible length: treat as torn tail
+			// Implausible length: a torn header at the tail, or garbage in
+			// the middle of the log with real records after it.
+			if tornTail(n) {
+				return nil
+			}
+			return fmt.Errorf("%w: wal record at offset %d: implausible length %d with %d bytes following",
+				errCorrupt, off, n, size-off-8)
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn payload
+				return nil // torn payload (reaches EOF by construction)
 			}
 			return err
 		}
 		if crc32.Checksum(payload, crcTable) != want {
-			return nil // corrupt tail; everything durable precedes it
+			if tornTail(n) {
+				return nil // torn tail; everything durable precedes it
+			}
+			return fmt.Errorf("%w: wal record at offset %d: crc mismatch with %d bytes of log following",
+				errCorrupt, off, size-(off+8+int64(n)))
 		}
 		ops, err := decodeBatchPayload(payload)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: wal record at offset %d: malformed batch payload", errCorrupt, off)
 		}
 		if err := apply(ops); err != nil {
 			return err
 		}
+		off += 8 + int64(n)
 	}
 }
 

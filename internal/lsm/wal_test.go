@@ -1,0 +1,144 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeTestWAL appends n single-put records ("k<i>" -> "v<i>") and
+// returns the log path plus each record's start offset.
+func writeTestWAL(t *testing.T, n int) (path string, offsets []int64) {
+	t.Helper()
+	path = filepath.Join(t.TempDir(), "test.wal")
+	w, err := newWALWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var off int64
+	for i := 0; i < n; i++ {
+		payload := encodeBatchPayload(nil, []walOp{{
+			kind:  kindPut,
+			key:   []byte(fmt.Sprintf("k%d", i)),
+			value: []byte(fmt.Sprintf("v%d", i)),
+		}})
+		offsets = append(offsets, off)
+		if err := w.append(payload, false); err != nil {
+			t.Fatal(err)
+		}
+		off += 8 + int64(len(payload))
+	}
+	if err := w.close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, offsets
+}
+
+// replayKeys replays the log and returns the keys applied, in order.
+func replayKeys(path string) ([]string, error) {
+	var keys []string
+	err := replayWAL(path, func(ops []walOp) error {
+		for _, op := range ops {
+			keys = append(keys, string(op.key))
+		}
+		return nil
+	})
+	return keys, err
+}
+
+// flipByte corrupts one byte of the file in place.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayWALInteriorCorruption is the regression for the
+// torn-tail/mid-file conflation: a corrupt record with valid,
+// acknowledged-durable records AFTER it must surface errCorrupt — not be
+// silently treated as a torn tail, which would drop the later records.
+func TestReplayWALInteriorCorruption(t *testing.T) {
+	path, offsets := writeTestWAL(t, 3)
+	// Flip a payload byte of the MIDDLE record (offset + 8-byte header).
+	flipByte(t, path, offsets[1]+8)
+	_, err := replayKeys(path)
+	if err == nil {
+		t.Fatal("interior corruption replayed as a torn tail (durable records dropped silently)")
+	}
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("want errCorrupt, got %v", err)
+	}
+}
+
+// TestReplayWALInteriorBadLength: a corrupted mid-file length field
+// (plausible but wrong, so framing shifts and the CRC fails) with real
+// records following is corruption, not a torn tail. An IMPLAUSIBLE
+// (>1 GiB) length always declares an extent past EOF and is physically
+// indistinguishable from a torn header, so only the tail case below
+// applies to it.
+func TestReplayWALInteriorBadLength(t *testing.T) {
+	path, offsets := writeTestWAL(t, 3)
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := f.ReadAt(hdr[:], offsets[1]); err != nil {
+		t.Fatal(err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	binary.LittleEndian.PutUint32(hdr[:], n-1) // shift the framing by one
+	if _, err := f.WriteAt(hdr[:], offsets[1]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = replayKeys(path)
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("want errCorrupt for corrupted mid-file length, got %v", err)
+	}
+}
+
+// TestReplayWALTornTail: a corrupt FINAL record is the torn-tail case the
+// log must tolerate — it was never acknowledged durable. Everything
+// before it replays.
+func TestReplayWALTornTail(t *testing.T) {
+	path, offsets := writeTestWAL(t, 3)
+	flipByte(t, path, offsets[2]+8) // corrupt the last record's payload
+	keys, err := replayKeys(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if len(keys) != 2 || keys[0] != "k0" || keys[1] != "k1" {
+		t.Fatalf("replayed %v, want [k0 k1]", keys)
+	}
+}
+
+// TestReplayWALTruncatedTail: a record physically cut short by a crash
+// replays cleanly up to it.
+func TestReplayWALTruncatedTail(t *testing.T) {
+	path, offsets := writeTestWAL(t, 3)
+	if err := os.Truncate(path, offsets[2]+5); err != nil { // mid-header
+		t.Fatal(err)
+	}
+	keys, err := replayKeys(path)
+	if err != nil {
+		t.Fatalf("truncated tail must be tolerated, got %v", err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("replayed %v, want [k0 k1]", keys)
+	}
+}

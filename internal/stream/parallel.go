@@ -1,0 +1,436 @@
+package stream
+
+import (
+	"fmt"
+	"sync"
+
+	"sistream/internal/txn"
+)
+
+// Parallel keyed regions: the multiplier after vectorization. A single
+// continuous query's dataflow spine — one fused operator chain, one
+// TO_TABLE goroutine — is inherently single-writer; Parallelize splits it
+// into P independent lanes by hashing each tuple's key, so the per-element
+// work (operator stages, write-set building, value copies) runs on P
+// cores, while the transaction model of the paper is preserved exactly:
+//
+//   - Routing is KEYED: a key is always processed by the same lane, so
+//     per-key order is preserved and the lanes' write sets are disjoint.
+//   - Punctuations are BROADCAST: every lane sees every BOT/COMMIT/
+//     ROLLBACK, in the same order, at the same position relative to its
+//     share of the data.
+//   - The merge BARRIER re-serializes punctuations: a lane reaching a
+//     punctuation first flushes its pending per-lane write segment into
+//     the shared transaction (txn.Segment — one latch acquisition per
+//     lane per boundary), then parks; the last lane to arrive becomes the
+//     commit coordinator and fires the single CommitState/Abort only
+//     after every lane has acknowledged the boundary. The transaction
+//     therefore commits all lanes' writes atomically — the same
+//     per-transaction atomicity the sequential TO_TABLE provides — and
+//     the merged output stream carries each punctuation exactly once, at
+//     a position consistent with every data element of its transaction.
+//
+// What is NOT preserved is the interleaving of data elements of one
+// transaction across different keys: lanes run concurrently, so the
+// merged stream orders them arbitrarily between two punctuations (the
+// property test in parallel_test.go pins down exactly this contract:
+// identical per-transaction element multisets, identical table contents
+// and stats for every lane count, against the sequential reference).
+
+// laneKey is the default routing hash (FNV-1a of the tuple key — the same
+// family the table shards use; an empty key routes to lane 0).
+func laneKey(t Tuple) uint64 {
+	if len(t.Key) == 0 {
+		return 0
+	}
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(t.Key); i++ {
+		h ^= uint64(t.Key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// ParallelRegion is a parallel section of a topology: P keyed lanes
+// between a Parallelize router and a Merge barrier. Build the per-lane
+// pipeline with Apply and ToTable, then close the region with Merge —
+// a region whose lanes are never merged does not run.
+type ParallelRegion struct {
+	t     *Topology
+	lanes []*Stream
+	// actions run on the commit coordinator (the last lane to reach a
+	// punctuation barrier), in registration order, with every lane parked
+	// and every lane's segment flushed — see ToTable.
+	actions []func(Element)
+	merged  bool
+}
+
+// Parallelize hash-routes the stream's data elements into p keyed lanes
+// and broadcasts punctuations to all of them. keyFn maps a tuple to its
+// routing hash (nil selects FNV-1a of Tuple.Key); tuples with equal hash
+// share a lane, so state updates of one key stay ordered. p == 1 is the
+// identity: the stream itself becomes the single lane and no router
+// goroutine is spawned.
+func (s *Stream) Parallelize(p int, keyFn func(Tuple) uint64) *ParallelRegion {
+	if p < 1 {
+		panic("stream: Parallelize needs p >= 1")
+	}
+	r := &ParallelRegion{t: s.t}
+	if p == 1 {
+		r.lanes = []*Stream{s}
+		return r
+	}
+	if keyFn == nil {
+		keyFn = laneKey
+	}
+	r.lanes = make([]*Stream, p)
+	for i := range r.lanes {
+		r.lanes[i] = s.t.newStream()
+	}
+	pend := make([][]Element, p)
+	// ship sends lane i's pending batch (blocking) and clears it. A
+	// non-nil pending batch always holds at least one element (it is
+	// created on first append and nilled on every send).
+	ship := func(i int) {
+		if len(pend[i]) > 0 {
+			r.lanes[i].ch <- pend[i]
+			pend[i] = nil
+		}
+	}
+	s.consume("parallelize", func(b []Element) {
+		for _, e := range b {
+			if e.Kind == KindData {
+				i := int(keyFn(e.Tuple) % uint64(p))
+				if pend[i] == nil {
+					pend[i] = getBatch()
+				}
+				pend[i] = append(pend[i], e)
+				if len(pend[i]) >= batchCap {
+					ship(i)
+				}
+				continue
+			}
+			// Punctuation: every lane must see it after all data routed
+			// before it — flush the pending data batches, then broadcast.
+			for i := range pend {
+				ship(i)
+			}
+			for i := range r.lanes {
+				pb := getBatch()
+				pb = append(pb, e)
+				r.lanes[i].ch <- pb
+			}
+		}
+		putBatch(b)
+		// Between punctuations, ship partial batches only while the lane
+		// edge has room (the emitter discipline): when lanes keep up,
+		// delivery is prompt; once backpressure builds, batches grow
+		// toward batchCap, which is when amortization pays.
+		for i := range pend {
+			if len(pend[i]) > 0 {
+				select {
+				case r.lanes[i].ch <- pend[i]:
+					pend[i] = nil
+				default:
+				}
+			}
+		}
+	}, func() {
+		for i := range pend {
+			ship(i)
+		}
+		for _, l := range r.lanes {
+			close(l.ch)
+		}
+	})
+	return r
+}
+
+// Apply derives each lane through fn (lane index, lane stream) — the hook
+// for per-lane fused operator chains (Map/Filter/FlatMap run inside the
+// lane's consumer, so a chain still costs zero goroutines per lane). fn
+// must return a stream of the same topology.
+func (r *ParallelRegion) Apply(fn func(lane int, s *Stream) *Stream) *ParallelRegion {
+	r.checkOpen("Apply")
+	for i, l := range r.lanes {
+		nl := fn(i, l)
+		if nl == nil || nl.t != r.t {
+			panic("stream: ParallelRegion.Apply must return a stream of the same topology")
+		}
+		r.lanes[i] = nl
+	}
+	return r
+}
+
+func (r *ParallelRegion) checkOpen(op string) {
+	if r.merged {
+		panic("stream: ParallelRegion." + op + " after Merge")
+	}
+}
+
+// laneTableCtl coordinates one region ToTable's poisoning state across
+// lanes: the first lane flush failure of a transaction poisons it (and
+// accounts for it exactly once); the commit coordinator turns a poisoned
+// transaction into a global abort. Poisoning is keyed to the transaction
+// handle — NOT a flag reset at BOT — because with a single lane the
+// region's stream can deliver a whole [BOT .. COMMIT BOT ..] run in one
+// batch, whose fused-stage flushes all execute before the collector's
+// barrier syncs; a BOT-time reset would then wipe a poison the same
+// batch's COMMIT still has to observe.
+type laneTableCtl struct {
+	mu       sync.Mutex
+	poisoned *txn.Txn // transaction whose writes failed; nil when none
+}
+
+// fail records a lane flush failure of tx. Only the FIRST failure of the
+// transaction counts: one abort for the abort family (a First-Committer-
+// Wins loss, or ErrFinished because another lane's failure already
+// aborted the transaction), a topology failure otherwise — mirroring the
+// sequential TO_TABLE, which poisons on the first failing write and
+// counts a single abort for the transaction.
+func (c *laneTableCtl) fail(t *Topology, op string, stats *ToTableStats, tx *txn.Txn, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.poisoned == tx {
+		return
+	}
+	c.poisoned = tx
+	if txn.IsAbort(err) || err == txn.ErrFinished {
+		stats.Aborts.Add(1)
+	} else {
+		t.fail(op, err)
+	}
+}
+
+func (c *laneTableCtl) isPoisoned(tx *txn.Txn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.poisoned == tx
+}
+
+// ToTable adds a per-lane TO_TABLE write path to every lane of the
+// region, maintaining tbl inside the transaction attached to the
+// elements — the parallel analogue of Stream.ToTable:
+//
+//   - Each lane buffers its data tuples into a private txn.Segment (value
+//     copies happen lane-locally, in parallel, with no shared latch).
+//   - At every punctuation the lane flushes its segment into the shared
+//     transaction — through the protocol's SegmentWriter fast path when
+//     available (SI: ownership transfer, one latch acquisition), through
+//     Protocol.WriteBatch otherwise — BEFORE acknowledging the barrier,
+//     so the coordinator never commits a transaction with lane writes
+//     still buffered.
+//   - The commit itself (CommitState on COMMIT, Abort on ROLLBACK, global
+//     abort of poisoned transactions) runs once, on the coordinator, at
+//     the Merge barrier; ToTable registers that action here.
+//
+// Poisoning is flush-granular: a lane discovers a write failure when its
+// segment flushes at a boundary, not per element as the sequential
+// operator does, so under injected mid-transaction faults the Writes
+// count may include same-transaction writes a sequential run would have
+// skipped. Commits, Aborts and committed table contents are identical for
+// every lane count (the sequential engine discards a poisoned
+// transaction's buffered writes just the same).
+//
+// The returned stats object is live. As with chained sequential ToTable
+// operators, maintaining several tables requires declaring them all on
+// the transaction (stream.Transactions' tables parameter) so the LAST
+// CommitState fires the global commit.
+func (r *ParallelRegion) ToTable(p txn.Protocol, tbl *txn.Table) *ToTableStats {
+	r.checkOpen("ToTable")
+	stats := &ToTableStats{}
+	name := "to_table/" + string(tbl.ID())
+	sw, _ := p.(txn.SegmentWriter)
+	ctl := &laneTableCtl{}
+	for i := range r.lanes {
+		seg := txn.NewSegment(batchCap)
+		var cur *txn.Txn
+		// flush merges the lane's segment into tx; eos marks the
+		// end-of-stream flush, where ErrFinished is expected (the
+		// Transactions operator aborts a dangling transaction when its
+		// own input ends) and must not count as a new abort.
+		flush := func(tx *txn.Txn, eos bool) {
+			if seg.Len() == 0 {
+				return
+			}
+			if tx == nil {
+				seg.Reset()
+				return
+			}
+			var (
+				n   int
+				err error
+			)
+			if sw != nil {
+				n, err = sw.WriteSegment(tx, tbl, seg)
+			} else {
+				n, err = p.WriteBatch(tx, tbl, seg.Ops())
+			}
+			seg.Reset()
+			stats.Writes.Add(int64(n))
+			if err != nil && !(eos && err == txn.ErrFinished) {
+				ctl.fail(r.t, name, stats, tx, err)
+			}
+		}
+		r.lanes[i] = r.lanes[i].fuse(func(e Element, emit func(Element)) {
+			switch e.Kind {
+			case KindBOT:
+				// A well-formed stream never has a pending segment here;
+				// flush defensively so a malformed one cannot leak writes
+				// across transactions.
+				flush(cur, false)
+				cur = e.Tx
+			case KindData:
+				if e.Tx != nil {
+					cur = e.Tx
+					if e.Tuple.Key != "" {
+						if e.Tuple.Delete {
+							seg.Delete(e.Tuple.Key)
+						} else {
+							seg.Put(e.Tuple.Key, e.Tuple.Value)
+						}
+					}
+				}
+			case KindCommit, KindRollback:
+				if e.Tx != nil {
+					cur = e.Tx
+				}
+				flush(cur, false)
+				cur = nil
+			}
+			emit(e)
+		}, func(emit func(Element)) {
+			// Input ended mid-transaction: apply the dangling segment (the
+			// sequential engine applies pending runs at batch boundaries
+			// too); the transaction itself is rolled back upstream.
+			flush(cur, true)
+		})
+	}
+	r.actions = append(r.actions, func(e Element) {
+		switch e.Kind {
+		case KindCommit:
+			if e.Tx == nil {
+				return
+			}
+			if ctl.isPoisoned(e.Tx) {
+				// Some lane already gave up on the transaction; make the
+				// abort global (the abort itself was already counted).
+				if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
+					r.t.fail(name, err)
+				}
+				return
+			}
+			if err := p.CommitState(e.Tx, tbl); err != nil {
+				if txn.IsAbort(err) || err == txn.ErrFinished {
+					stats.Aborts.Add(1)
+				} else {
+					r.t.fail(name, err)
+				}
+				return
+			}
+			stats.Commits.Add(1)
+		case KindRollback:
+			if e.Tx == nil {
+				return
+			}
+			// Lane segments were flushed before the barrier (Writes counts
+			// them, as in the sequential engine); Abort discards them.
+			if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
+				r.t.fail(name, err)
+			}
+			stats.Aborts.Add(1)
+		}
+	})
+	return stats
+}
+
+// laneBarrier is the punctuation barrier of a parallel region: a cyclic
+// barrier over the region's lane collectors. Lanes forward data batches
+// to the merged output as they arrive; at a punctuation each lane parks,
+// and the LAST lane to arrive becomes the coordinator for that boundary —
+// it runs the region's registered actions (segment-backed commits), emits
+// the punctuation into the merged stream exactly once, and releases the
+// parked lanes.
+type laneBarrier struct {
+	n   int
+	out *Stream
+
+	mu      sync.Mutex
+	arrived int
+	resume  chan struct{}
+	actions []func(Element)
+}
+
+// sync is called by a lane collector holding a punctuation element. It
+// returns when the boundary is fully acknowledged and committed.
+func (b *laneBarrier) sync(e Element) {
+	b.mu.Lock()
+	b.arrived++
+	if b.arrived < b.n {
+		ch := b.resume
+		b.mu.Unlock()
+		<-ch
+		return
+	}
+	// Coordinator: every lane has acknowledged the boundary (and, per
+	// ToTable's contract, flushed its segment before arriving here).
+	b.arrived = 0
+	for _, act := range b.actions {
+		act(e)
+	}
+	pb := getBatch()
+	pb = append(pb, e)
+	b.out.ch <- pb
+	close(b.resume)
+	b.resume = make(chan struct{})
+	b.mu.Unlock()
+}
+
+// Merge closes the region: it re-serializes the lanes into one output
+// stream whose punctuations appear exactly once, every data element of a
+// transaction between that transaction's BOT and COMMIT/ROLLBACK, and
+// per-key element order preserved (cross-key order within a transaction
+// is arbitrary — lanes run concurrently). Merge must be called exactly
+// once per region; the region's commit actions (ToTable) run at its
+// barrier.
+func (r *ParallelRegion) Merge(name string) *Stream {
+	r.checkOpen("Merge")
+	r.merged = true
+	out := r.t.newStream()
+	b := &laneBarrier{n: len(r.lanes), out: out, resume: make(chan struct{}), actions: r.actions}
+	var wg sync.WaitGroup
+	wg.Add(len(r.lanes))
+	for i, lane := range r.lanes {
+		lane.consume(fmt.Sprintf("%s/lane%d", name, i), func(batch []Element) {
+			start := 0
+			for j := range batch {
+				if batch[j].Kind == KindData {
+					continue
+				}
+				if j > start {
+					nb := getBatch()
+					nb = append(nb, batch[start:j]...)
+					out.ch <- nb
+				}
+				b.sync(batch[j])
+				start = j + 1
+			}
+			if start == 0 {
+				// Pure data batch (the common case): forward whole, no copy.
+				out.ch <- batch
+				return
+			}
+			if start < len(batch) {
+				nb := getBatch()
+				nb = append(nb, batch[start:]...)
+				out.ch <- nb
+			}
+			putBatch(batch)
+		}, wg.Done)
+	}
+	r.t.spawn(name+"/closer", func() {
+		wg.Wait()
+		close(out.ch)
+	})
+	return out
+}

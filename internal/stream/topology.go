@@ -257,6 +257,27 @@ func (s *Stream) Hub() *Hub {
 			snap = append(snap, sub)
 		}
 		h.mu.Unlock()
+		if len(snap) == 1 {
+			// Single-subscriber fast path: hand the batch off without the
+			// copy — ownership transfers to the subscriber, so the hub must
+			// not recycle it (and must recycle it itself if the delivery is
+			// interrupted by a detach or the subscriber is already gone).
+			sub := snap[0]
+			delivered := false
+			sub.mu.Lock()
+			if !sub.gone {
+				select {
+				case sub.st.ch <- b:
+					delivered = true
+				case <-sub.done:
+				}
+			}
+			sub.mu.Unlock()
+			if !delivered {
+				putBatch(b)
+			}
+			return
+		}
 		for _, sub := range snap {
 			sub.mu.Lock()
 			if !sub.gone {

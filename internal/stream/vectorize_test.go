@@ -3,6 +3,8 @@ package stream
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"testing"
 
 	"sistream/internal/kv"
@@ -292,6 +294,194 @@ func TestPropertyVectorizedEquivalence(t *testing.T) {
 				t.Fatalf("stats diverged: got w=%d c=%d a=%d, want w=%d c=%d a=%d",
 					stats.Writes.Load(), stats.Commits.Load(), stats.Aborts.Load(),
 					want.writes, want.commits, want.aborts)
+			}
+		})
+	}
+}
+
+// runParallel executes the script through a parallel keyed region with
+// the given lane count (Parallelize → per-lane ToTable → Merge).
+func runParallel(t *testing.T, script []scriptItem, punctuateN, lanes int, proto func(*txn.Context) txn.Protocol) (sig []string, rows map[string]string, stats *ToTableStats) {
+	t.Helper()
+	ctx := txn.NewContext()
+	store := kv.NewMem()
+	t.Cleanup(func() { store.Close() })
+	tbl, err := ctx.CreateTable("prop", store, txn.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("g", tbl); err != nil {
+		t.Fatal(err)
+	}
+	p := proto(ctx)
+
+	top := New("prop-lanes")
+	src := top.Source("script", func(emit func(Element)) error {
+		for _, it := range script {
+			if it.kind == KindData {
+				emit(DataElement(Tuple{Key: it.key, Value: []byte(it.val), Delete: it.del}))
+			} else {
+				emit(Punctuation(it.kind))
+			}
+		}
+		return nil
+	})
+	region := src.Punctuate(punctuateN).Transactions(p).Parallelize(lanes, nil)
+	stats = region.ToTable(p, tbl)
+	collected := region.Merge("merge").Collect()
+	if err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range <-collected {
+		switch e.Kind {
+		case KindBOT:
+			sig = append(sig, "B")
+		case KindData:
+			sig = append(sig, "D:"+e.Tuple.Key)
+		case KindCommit:
+			sig = append(sig, "C")
+		case KindRollback:
+			sig = append(sig, "R")
+		}
+	}
+	kvs, err := TableSnapshot(p, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = map[string]string{}
+	for _, r := range kvs {
+		rows[r.Key] = string(r.Value)
+	}
+	return sig, rows, stats
+}
+
+// sigStructure reduces an element signature to the parts a parallel
+// region must preserve: the exact punctuation sequence, and the multiset
+// of data keys between consecutive punctuations (cross-key order within
+// a transaction is explicitly unordered across lanes).
+func sigStructure(sig []string) (punct string, segments []string) {
+	var cur []string
+	flush := func() {
+		sort.Strings(cur)
+		segments = append(segments, strings.Join(cur, ","))
+		cur = nil
+	}
+	for _, s := range sig {
+		if strings.HasPrefix(s, "D:") {
+			cur = append(cur, s[2:])
+			continue
+		}
+		flush()
+		punct += s
+	}
+	flush()
+	return punct, segments
+}
+
+// TestPropertyLaneCountEquivalence: for random scripts, every lane count
+// must produce the same committed table contents, the same stats, the
+// same punctuation sequence and the same per-transaction element
+// multisets as the sequential reference model — the convergence
+// obligation of the parallel region (all lanes agree on transaction
+// boundaries; final state equals the sequential run).
+func TestPropertyLaneCountEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			script := genScript(rng)
+			punctuateN := 1 + rng.Intn(7)
+
+			want := runRef(script, punctuateN, 0)
+			wantPunct, wantSegs := sigStructure(want.sequence)
+
+			for _, lanes := range []int{1, 2, 4, 8} {
+				sig, rows, stats := runParallel(t, script, punctuateN, lanes, func(c *txn.Context) txn.Protocol { return txn.NewSI(c) })
+				gotPunct, gotSegs := sigStructure(sig)
+				if gotPunct != wantPunct {
+					t.Fatalf("lanes=%d: punctuation sequence diverged:\n got %q\nwant %q", lanes, gotPunct, wantPunct)
+				}
+				if fmt.Sprint(gotSegs) != fmt.Sprint(wantSegs) {
+					t.Fatalf("lanes=%d: per-transaction element multisets diverged:\n got %v\nwant %v", lanes, gotSegs, wantSegs)
+				}
+				if fmt.Sprint(rows) != fmt.Sprint(want.table) {
+					t.Fatalf("lanes=%d: table content diverged:\n got %v\nwant %v", lanes, rows, want.table)
+				}
+				if stats.Writes.Load() != want.writes ||
+					stats.Commits.Load() != want.commits ||
+					stats.Aborts.Load() != want.aborts {
+					t.Fatalf("lanes=%d: stats diverged: got w=%d c=%d a=%d, want w=%d c=%d a=%d",
+						lanes, stats.Writes.Load(), stats.Commits.Load(), stats.Aborts.Load(),
+						want.writes, want.commits, want.aborts)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyLane1FaultEquivalence: a single-lane region processes
+// elements in sequential order and flushes whole transactions, so with
+// injected mid-transaction write failures it must reproduce the
+// sequential reference EXACTLY — element sequence, table contents and
+// stats. This is the regression for the poison-wipe bug: with one lane a
+// whole [BOT .. COMMIT BOT ..] run arrives as one batch whose stage
+// flushes (and thus poisoning) all happen before the barrier syncs, so a
+// BOT-keyed poison reset would erase the failure the same batch's COMMIT
+// must observe — committing a transaction whose writes never applied.
+func TestPropertyLane1FaultEquivalence(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			script := genScript(rng)
+			punctuateN := 1 + rng.Intn(7)
+			failAt := int64(1 + rng.Intn(50))
+
+			want := runRef(script, punctuateN, failAt)
+			sig, rows, stats := runParallel(t, script, punctuateN, 1, func(c *txn.Context) txn.Protocol {
+				return &faultProtocol{Protocol: txn.NewSI(c), failAt: failAt}
+			})
+			if fmt.Sprint(sig) != fmt.Sprint(want.sequence) {
+				t.Fatalf("element sequence diverged (punctuate=%d failAt=%d):\n got %v\nwant %v",
+					punctuateN, failAt, sig, want.sequence)
+			}
+			if fmt.Sprint(rows) != fmt.Sprint(want.table) {
+				t.Fatalf("table content diverged (failAt=%d):\n got %v\nwant %v", failAt, rows, want.table)
+			}
+			if stats.Writes.Load() != want.writes ||
+				stats.Commits.Load() != want.commits ||
+				stats.Aborts.Load() != want.aborts {
+				t.Fatalf("stats diverged (failAt=%d): got w=%d c=%d a=%d, want w=%d c=%d a=%d",
+					failAt, stats.Writes.Load(), stats.Commits.Load(), stats.Aborts.Load(),
+					want.writes, want.commits, want.aborts)
+			}
+		})
+	}
+}
+
+// TestLaneEquivalenceAllProtocols drives the parallel region through the
+// generic WriteBatch fallback too: S2PL and BOCC do not implement
+// SegmentWriter, so their lanes merge segments through Protocol.WriteBatch
+// under the per-lane transaction latching.
+func TestLaneEquivalenceAllProtocols(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	script := genScript(rng)
+	const punctuateN = 5
+	want := runRef(script, punctuateN, 0)
+	protos := map[string]func(*txn.Context) txn.Protocol{
+		"mvcc": func(c *txn.Context) txn.Protocol { return txn.NewSI(c) },
+		"s2pl": func(c *txn.Context) txn.Protocol { return txn.NewS2PL(c) },
+		"bocc": func(c *txn.Context) txn.Protocol { return txn.NewBOCC(c) },
+	}
+	for name, proto := range protos {
+		t.Run(name, func(t *testing.T) {
+			_, rows, stats := runParallel(t, script, punctuateN, 4, proto)
+			if fmt.Sprint(rows) != fmt.Sprint(want.table) {
+				t.Fatalf("table content diverged:\n got %v\nwant %v", rows, want.table)
+			}
+			if stats.Writes.Load() != want.writes || stats.Commits.Load() != want.commits {
+				t.Fatalf("stats diverged: got w=%d c=%d, want w=%d c=%d",
+					stats.Writes.Load(), stats.Commits.Load(), want.writes, want.commits)
 			}
 		})
 	}

@@ -94,11 +94,16 @@ func requireGroup(tbl *Table) error {
 	return nil
 }
 
+// errReadOnlyWrite reports a write attempted in a read-only transaction.
+func errReadOnlyWrite(tx *Txn) error {
+	return fmt.Errorf("txn: write in read-only transaction %d", tx.id)
+}
+
 // bufferWrite records a write into tx's uncommitted write set. Writes
 // "are merely appended to the write set" and never block (Section 4.2).
 func bufferWrite(tx *Txn, tbl *Table, key string, op writeOp) error {
 	if tx.readOnly {
-		return fmt.Errorf("txn: write in read-only transaction %d", tx.id)
+		return errReadOnlyWrite(tx)
 	}
 	if err := requireGroup(tbl); err != nil {
 		return err
@@ -118,7 +123,7 @@ func bufferWrite(tx *Txn, tbl *Table, key string, op writeOp) error {
 // group snapshot is pinned first (SI semantics; see SI.Write).
 func bufferWriteBatch(tx *Txn, tbl *Table, ops []WriteOp, pin bool) (int, error) {
 	if tx.readOnly {
-		return 0, fmt.Errorf("txn: write in read-only transaction %d", tx.id)
+		return 0, errReadOnlyWrite(tx)
 	}
 	if err := requireGroup(tbl); err != nil {
 		return 0, err
@@ -484,6 +489,14 @@ func (p *protocolBase) leadGroup(g *Group) {
 	}
 	g.qmu.Unlock()
 	g.commitMu.Unlock()
+
+	// Housekeeping off the latch: the retiring leader sweeps any member
+	// table whose opt-in GC threshold was reached. New commits proceed
+	// concurrently (the next leader holds commitMu; the sweep takes only
+	// per-object writer mutexes).
+	for _, tbl := range g.tables {
+		tbl.maybeGC()
+	}
 }
 
 // leaderCommit commits one batch of enqueued transactions. Caller holds
@@ -643,6 +656,7 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 			if len(e.order) == 0 {
 				continue
 			}
+			e.table.commitsSinceGC.Add(1)
 			if writes == nil {
 				writes = make(map[StateID][]string)
 			}
@@ -667,7 +681,16 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 // all-or-nothing for snapshot readers of any involved group.
 func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*commitOverlay) error) error {
 	lockGroups(groups)
-	defer unlockGroups(groups)
+	defer func() {
+		unlockGroups(groups)
+		// Threshold-driven sweeps run after the latches are released so
+		// they never extend the cross-group critical section.
+		for _, g := range groups {
+			for _, tbl := range g.tables {
+				tbl.maybeGC()
+			}
+		}
+	}()
 
 	if admit != nil {
 		if err := admit(nil); err != nil {
@@ -745,6 +768,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			if e.table.group != g || len(e.order) == 0 {
 				continue
 			}
+			e.table.commitsSinceGC.Add(1)
 			if writes == nil {
 				writes = make(map[StateID][]string)
 			}

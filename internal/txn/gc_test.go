@@ -1,0 +1,86 @@
+package txn
+
+import (
+	"testing"
+
+	"sistream/internal/kv"
+)
+
+// hammerKey commits n sequential single-key blind writes through p.
+func hammerKey(t *testing.T, p Protocol, tbl *Table, key string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tx, err := p.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Write(tx, tbl, key, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Commit(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestGCSweeperReclaimsDeadVersions: with the opt-in threshold sweeper, a
+// read-mostly overwritten key does not retain dead versions until its
+// array fills — the retiring group-commit leader sweeps every
+// GCEveryCommits commits, and the counters report it.
+func TestGCSweeperReclaimsDeadVersions(t *testing.T) {
+	ctx := NewContext()
+	store := kv.NewMem()
+	defer store.Close()
+	// VersionSlots far above the write count: Install-time lazy GC (which
+	// only fires on a full array) never runs, isolating the sweeper.
+	tbl, err := ctx.CreateTable("swept", store, TableOptions{
+		VersionSlots:   256,
+		GCEveryCommits: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("g", tbl); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+	hammerKey(t, p, tbl, "hot", 100)
+
+	runs, reclaimed := tbl.GCStats()
+	if runs == 0 {
+		t.Fatal("sweeper never ran despite GCEveryCommits=10 over 100 commits")
+	}
+	if reclaimed == 0 {
+		t.Fatal("sweeper ran but reclaimed nothing")
+	}
+	// 100 installs, one live version; the sweeper bounds residency to at
+	// most one threshold interval of dead versions.
+	if rv := tbl.ResidentVersions(); rv > 11 {
+		t.Fatalf("resident versions = %d after sweeps, want <= 11", rv)
+	}
+}
+
+// TestGCSweeperDisabledRetainsVersions is the control: without the
+// sweeper (and with a version array large enough that lazy GC never
+// fires), every dead version stays resident — the leak the sweeper fixes.
+func TestGCSweeperDisabledRetainsVersions(t *testing.T) {
+	ctx := NewContext()
+	store := kv.NewMem()
+	defer store.Close()
+	tbl, err := ctx.CreateTable("unswept", store, TableOptions{VersionSlots: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("g", tbl); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+	hammerKey(t, p, tbl, "hot", 100)
+
+	if runs, _ := tbl.GCStats(); runs != 0 {
+		t.Fatalf("sweeper ran %d times with GCEveryCommits=0", runs)
+	}
+	if rv := tbl.ResidentVersions(); rv != 100 {
+		t.Fatalf("resident versions = %d, want 100 (all versions retained without the sweeper)", rv)
+	}
+}

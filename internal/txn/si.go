@@ -31,7 +31,10 @@ func NewSI(ctx *Context) *SI {
 	return &SI{protocolBase{ctx: ctx}}
 }
 
-var _ Protocol = (*SI)(nil)
+var (
+	_ Protocol      = (*SI)(nil)
+	_ SegmentWriter = (*SI)(nil)
+)
 
 // Name implements Protocol.
 func (p *SI) Name() string { return "mvcc" }
@@ -95,6 +98,17 @@ func (p *SI) Write(tx *Txn, tbl *Table, key string, value []byte) error {
 // to appending to the write set.
 func (p *SI) WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error) {
 	return bufferWriteBatch(tx, tbl, ops, true)
+}
+
+// WriteSegment implements SegmentWriter: it merges a lane's private
+// write-set segment into the transaction under one latch acquisition,
+// adopting the segment's value copies instead of re-copying them. Safe
+// for concurrent calls from the lanes of one parallel region — the
+// transaction latch serializes the merges, and keyed routing keeps the
+// lanes' key sets disjoint, so merge order cannot change the write set's
+// contents.
+func (p *SI) WriteSegment(tx *Txn, tbl *Table, seg *Segment) (int, error) {
+	return writeSegment(tx, tbl, seg, true)
 }
 
 // Delete implements Protocol (see Write for snapshot pinning).

@@ -3,6 +3,7 @@ package txn
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"sistream/internal/kv"
 	"sistream/internal/mvcc"
@@ -23,6 +24,14 @@ type TableOptions struct {
 	// visible. The paper's evaluation enables it ("we ... only set the
 	// sync option to true to guarantee failure atomicity").
 	SyncCommits bool
+	// GCEveryCommits opts into threshold-driven version reclamation:
+	// after every N transactions committed into this table, the retiring
+	// group-commit leader sweeps the table's version arrays (off the
+	// commit latch, concurrent with new commits). 0 disables the sweeper,
+	// leaving only the Install-time lazy GC — which only fires when a
+	// key's version array fills, so read-mostly keys would retain dead
+	// versions indefinitely. See Table.GCStats.
+	GCEveryCommits int
 }
 
 // Table is the transactional table wrapper of the paper's Figure 3: a
@@ -43,6 +52,14 @@ type Table struct {
 	opts  TableOptions
 
 	shards [tableShards]tableShard
+
+	// Sweeper bookkeeping (see TableOptions.GCEveryCommits): commits into
+	// this table since the last sweep, a single-flight guard, and the
+	// cumulative counters GCStats reports.
+	commitsSinceGC atomic.Uint64
+	gcActive       atomic.Bool
+	gcRuns         atomic.Uint64
+	gcReclaimed    atomic.Uint64
 }
 
 type tableShard struct {
@@ -156,7 +173,10 @@ func (t *Table) Keys() int {
 }
 
 // GC reclaims versions invisible at the context's current
-// OldestActiveVersion across all keys, returning reclaimed slots.
+// OldestActiveVersion across all keys, returning reclaimed slots. Safe
+// to run concurrently with commits (per-object GC synchronizes with
+// Install on the object's writer mutex; readers are RCU and never
+// blocked).
 func (t *Table) GC() int {
 	horizon := t.ctx.OldestActiveVersion()
 	n := 0
@@ -171,6 +191,48 @@ func (t *Table) GC() int {
 		for _, o := range objs {
 			n += o.GC(horizon)
 		}
+	}
+	t.gcRuns.Add(1)
+	t.gcReclaimed.Add(uint64(n))
+	return n
+}
+
+// maybeGC runs a sweep when the opt-in commit threshold has been reached.
+// It is called by the retiring group-commit leader after the commit latch
+// is released, so the sweep overlaps new commits; the single-flight guard
+// keeps back-to-back leaders from stacking sweeps.
+func (t *Table) maybeGC() {
+	n := t.opts.GCEveryCommits
+	if n <= 0 || t.commitsSinceGC.Load() < uint64(n) {
+		return
+	}
+	if !t.gcActive.CompareAndSwap(false, true) {
+		return
+	}
+	t.commitsSinceGC.Store(0)
+	t.GC()
+	t.gcActive.Store(false)
+}
+
+// GCStats reports explicit sweep activity — threshold-driven sweeper runs
+// and manual GC calls: completed sweeps and the total version slots they
+// reclaimed (Install-time lazy reclamation is not included).
+func (t *Table) GCStats() (runs, reclaimed uint64) {
+	return t.gcRuns.Load(), t.gcReclaimed.Load()
+}
+
+// ResidentVersions counts the currently occupied version slots across all
+// keys of the table — the live-version footprint the sweeper bounds.
+// O(keys); a diagnostic, not a hot-path call.
+func (t *Table) ResidentVersions() int {
+	n := 0
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, o := range sh.m {
+			n += o.LiveVersions()
+		}
+		sh.mu.RUnlock()
 	}
 	return n
 }

@@ -104,6 +104,10 @@ type (
 	Tuple = stream.Tuple
 	// Kind discriminates data from punctuations.
 	Kind = stream.Kind
+	// ParallelRegion is a keyed parallel section of a topology: P lanes
+	// between a Parallelize router and a transaction-preserving Merge
+	// barrier.
+	ParallelRegion = stream.ParallelRegion
 	// AggFunc folds a window of samples.
 	AggFunc = stream.AggFunc
 	// TableKey addresses one point read of QueryKeys.
