@@ -308,6 +308,32 @@ func BenchmarkIngestLanes(b *testing.B) {
 	}
 }
 
+// BenchmarkFeedPartitions measures the table→stream change feed
+// concurrent with its writer: the BenchmarkIngest query writing the
+// table while a feed delivers every committed change downstream, clock
+// stopped when the feed has drained. partitions=0 is the sequential
+// single-watcher ToStream baseline; partitions=N runs the partitioned
+// feed (per-partition commit watchers, barrier-merged). elems/s is feed
+// elements delivered per wall-clock second.
+func BenchmarkFeedPartitions(b *testing.B) {
+	for _, parts := range []int{0, 1, 4} {
+		b.Run("partitions="+itoa(parts), func(b *testing.B) {
+			cfg := bench.FeedConfig{Ingest: bench.DefaultIngest(), Partitions: parts}
+			cfg.Ingest.Elements = b.N
+			cfg.Ingest.CommitEvery = 100
+			cfg.Ingest.Keys = 100_000
+			res, err := bench.RunFeed(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.FeedElems != res.IngestElems {
+				b.Fatalf("feed delivered %d of %d committed writes", res.FeedElems, res.IngestElems)
+			}
+			b.ReportMetric(res.ElemsPerSec, "elems/s")
+		})
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

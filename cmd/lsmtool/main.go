@@ -9,6 +9,13 @@
 //	lsmtool -dir data get -key s/state1/0001
 //	lsmtool -dir data verify         # full scan, checks order + readability
 //	lsmtool -dir data compact        # force flush + full compaction
+//	lsmtool -dir data wal-dump       # decode the write-ahead logs (read-only)
+//	lsmtool -dir data wal-dump -skip-corrupt   # salvage: resync past corruption
+//	lsmtool -wal data/000007.wal wal-dump      # one specific log file
+//
+// wal-dump never opens the database (recovery would rotate the logs); it
+// reads the files directly, so it works on a directory whose Open fails
+// with mid-file WAL corruption — the situation -skip-corrupt salvages.
 package main
 
 import (
@@ -21,14 +28,32 @@ import (
 )
 
 func main() {
-	dir := flag.String("dir", "", "LSM data directory (required)")
+	dir := flag.String("dir", "", "LSM data directory (required unless -wal)")
 	key := flag.String("key", "", "key for get")
 	prefix := flag.String("prefix", "", "key prefix filter for scan")
 	limit := flag.Int("limit", 0, "max rows for scan (0 = all)")
+	walFile := flag.String("wal", "", "wal-dump: one specific log file instead of -dir's logs")
+	skipCorrupt := flag.Bool("skip-corrupt", false, "wal-dump: salvage mode — skip corrupt records and resynchronize")
 	flag.Parse()
-	if *dir == "" || flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: lsmtool -dir <path> [flags] stats|scan|get|verify|compact")
+	// Accept flags on either side of the command (the stdlib parser stops
+	// at the first positional, so `lsmtool -dir data scan -prefix x` and
+	// `lsmtool -dir data wal-dump -skip-corrupt` need a second pass over
+	// what follows the command).
+	cmd := ""
+	if args := flag.Args(); len(args) > 0 {
+		cmd = args[0]
+		flag.CommandLine.Parse(args[1:])
+	}
+	if cmd == "" || flag.NArg() != 0 || (*dir == "" && !(cmd == "wal-dump" && *walFile != "")) {
+		fmt.Fprintln(os.Stderr, "usage: lsmtool -dir <path> [flags] stats|scan|get|verify|compact|wal-dump")
 		os.Exit(2)
+	}
+	if cmd == "wal-dump" {
+		// Deliberately DB-less: opening the database replays and rotates
+		// the logs, and fails outright on the corruption this command is
+		// for.
+		walDump(*dir, *walFile, *skipCorrupt)
+		return
 	}
 	db, err := lsm.Open(*dir, lsm.Options{})
 	if err != nil {
@@ -36,7 +61,7 @@ func main() {
 	}
 	defer db.Close()
 
-	switch flag.Arg(0) {
+	switch cmd {
 	case "stats":
 		st := db.Stats()
 		fmt.Printf("flushes:      %d\n", st.Flushes)
@@ -44,6 +69,8 @@ func main() {
 		fmt.Printf("memtable:     %d keys, ~%d bytes\n", st.MemKeys, st.MemBytes)
 		fmt.Printf("block cache:  %d blocks, %d hits, %d misses\n",
 			st.BlockCacheBlocks, st.BlockCacheHits, st.BlockCacheMisses)
+		fmt.Printf("wal recovery: %d records replayed, %d torn tails discarded\n",
+			st.WALRecordsRecovered, st.WALTornTails)
 		var files, size int
 		for l := range st.LevelFiles {
 			if st.LevelFiles[l] == 0 {
@@ -100,7 +127,51 @@ func main() {
 		}
 		fmt.Println("compacted")
 	default:
-		fatal(fmt.Errorf("unknown command %q", flag.Arg(0)))
+		fatal(fmt.Errorf("unknown command %q", cmd))
+	}
+}
+
+// walDump decodes one WAL file (or every log of the directory, oldest
+// first) without opening the database. Without -skip-corrupt it stops at
+// mid-file corruption with a nonzero exit, mirroring recovery; with it,
+// corrupt spots are skipped and the salvageable records printed.
+func walDump(dir, walFile string, skipCorrupt bool) {
+	paths := []string{walFile}
+	if walFile == "" {
+		var err error
+		paths, err = lsm.WALFiles(dir)
+		if err != nil {
+			fatal(err)
+		}
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "no wal files")
+			return
+		}
+	}
+	for _, path := range paths {
+		fmt.Printf("-- %s\n", path)
+		stats, err := lsm.DumpWAL(path, skipCorrupt, func(off int64, ops []lsm.WALEntry) bool {
+			for _, op := range ops {
+				if op.Delete {
+					fmt.Printf("%08d  DEL %q\n", off, op.Key)
+				} else {
+					fmt.Printf("%08d  PUT %q = %q\n", off, op.Key, op.Value)
+				}
+			}
+			return true
+		})
+		fmt.Fprintf(os.Stderr, "%s: %d records, %d ops", path, stats.Records, stats.Ops)
+		if stats.CorruptRecords > 0 {
+			fmt.Fprintf(os.Stderr, ", %d corrupt spots (%d bytes skipped)",
+				stats.CorruptRecords, stats.SkippedBytes)
+		}
+		if stats.TornTail {
+			fmt.Fprintf(os.Stderr, ", torn tail discarded")
+		}
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
 	}
 }
 

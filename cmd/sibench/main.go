@@ -13,7 +13,11 @@
 //	sibench -ingest -lanes 4             # ... with 4 parallel keyed lanes
 //	sibench -ingest -json                # ... as one JSON object
 //	sibench -ingest -lanesweep -json     # lanes 1,2,4,8 as a JSON array
-//	                                     # (the BENCH_ingest.json format)
+//	sibench -feed                        # table→stream feed rate, sequential watcher
+//	sibench -feed -partitions 4          # ... through a 4-way partitioned feed
+//	sibench -feed -partsweep -json       # seq,1,2,4,8 partitions as a JSON array
+//	sibench -benchjson -backend mem      # lane sweep + feed sweep as one JSON
+//	                                     # object (regenerates BENCH_ingest.json)
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
@@ -21,6 +25,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,7 +47,11 @@ func main() {
 		keys      = flag.Int("keys", 100_000, "ingest: distinct keys cycled through")
 		lanes     = flag.Int("lanes", 1, "ingest: parallel keyed lanes (1 = sequential spine)")
 		laneSweep = flag.Bool("lanesweep", false, "ingest: sweep lanes 1,2,4,8 (JSON: array of results)")
-		jsonOut   = flag.Bool("json", false, "ingest: JSON output (one object; with -lanesweep, the BENCH_ingest.json array)")
+		feed      = flag.Bool("feed", false, "run the table→stream change-feed benchmark")
+		parts     = flag.Int("partitions", 0, "feed: partitioned-feed watchers (0 = sequential ToStream)")
+		partSweep = flag.Bool("partsweep", false, "feed: sweep sequential + partitions 1,2,4,8")
+		benchJSON = flag.Bool("benchjson", false, "run the ingest lane sweep and the feed partition sweep, emit the BENCH_ingest.json object")
+		jsonOut   = flag.Bool("json", false, "ingest/feed: JSON output")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
 		backend   = flag.String("backend", "lsm", "mem | lsm")
 		dir       = flag.String("dir", "", "LSM data directory (default: temp)")
@@ -88,32 +97,32 @@ func main() {
 	}
 	base.Dir = dirFor("", 0)
 
+	icfg := bench.DefaultIngest()
+	icfg.Protocol = *protocol
+	icfg.Backend = *backend
+	if icfg.Backend == "lsm" {
+		icfg.Dir = base.Dir
+	}
+	icfg.Elements = *elements
+	icfg.CommitEvery = *every
+	icfg.Keys = *keys
+	icfg.Sync = *sync
+	icfg.Lanes = *lanes
+
+	// Sweeps over the lsm backend give every cell a FRESH directory —
+	// re-opening a shared one would replay earlier cells' data into the
+	// measured run (recovery time, pre-populated levels), exactly like
+	// the Figure 4 / scaling sweeps' per-cell dirs.
+	freshDir := func() string { return dirFor("", 0) }
+
 	switch {
+	case *benchJSON:
+		runBenchJSON(icfg, freshDir)
+	case *feed:
+		runFeed(icfg, *parts, *partSweep, *jsonOut, freshDir)
 	case *ingest:
-		icfg := bench.DefaultIngest()
-		icfg.Protocol = *protocol
-		icfg.Backend = *backend
-		if icfg.Backend == "lsm" {
-			icfg.Dir = base.Dir
-		}
-		icfg.Elements = *elements
-		icfg.CommitEvery = *every
-		icfg.Keys = *keys
-		icfg.Sync = *sync
-		icfg.Lanes = *lanes
 		if *laneSweep {
-			var results []bench.IngestResult
-			for _, l := range []int{1, 2, 4, 8} {
-				icfg.Lanes = l
-				res, err := bench.RunIngest(icfg)
-				if err != nil {
-					fatal(err)
-				}
-				results = append(results, res)
-				if !*jsonOut {
-					bench.PrintIngest(os.Stdout, res)
-				}
-			}
+			results := ingestLaneSweep(icfg, !*jsonOut, freshDir)
 			if *jsonOut {
 				if err := bench.WriteIngestJSON(os.Stdout, results); err != nil {
 					fatal(err)
@@ -151,6 +160,100 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// feedSweepPartitions is the feed sweep: the sequential single-watcher
+// path (FeedConfig.Partitions 0) followed by partitioned feeds of 1, 2,
+// 4 and 8 watchers. partitions=1 vs sequential isolates the partitioned
+// machinery's overhead (router, barrier, merge).
+var feedSweepPartitions = []int{0, 1, 2, 4, 8}
+
+// ingestLaneSweep runs the ingest benchmark across lanes 1, 2, 4, 8 —
+// the ingest half of BENCH_ingest.json, shared by -lanesweep and
+// -benchjson so the two cannot drift apart. freshDir supplies a new
+// data directory per lsm cell.
+func ingestLaneSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.IngestResult {
+	var results []bench.IngestResult
+	for _, l := range []int{1, 2, 4, 8} {
+		icfg.Lanes = l
+		if icfg.Backend == "lsm" {
+			icfg.Dir = freshDir()
+		}
+		res, err := bench.RunIngest(icfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		if print {
+			bench.PrintIngest(os.Stdout, res)
+		}
+	}
+	return results
+}
+
+// feedPartSweep runs the change-feed benchmark across
+// feedSweepPartitions — the feed half of BENCH_ingest.json, shared by
+// -partsweep and -benchjson. freshDir supplies a new data directory per
+// lsm cell.
+func feedPartSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.FeedResult {
+	var results []bench.FeedResult
+	for _, p := range feedSweepPartitions {
+		if icfg.Backend == "lsm" {
+			icfg.Dir = freshDir()
+		}
+		res, err := bench.RunFeed(bench.FeedConfig{Ingest: icfg, Partitions: p})
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		if print {
+			bench.PrintFeed(os.Stdout, res)
+		}
+	}
+	return results
+}
+
+// runFeed runs the table→stream change-feed benchmark: one cell, or the
+// partition sweep.
+func runFeed(icfg bench.IngestConfig, partitions int, sweep, jsonOut bool, freshDir func() string) {
+	if !sweep {
+		res, err := bench.RunFeed(bench.FeedConfig{Ingest: icfg, Partitions: partitions})
+		if err != nil {
+			fatal(err)
+		}
+		if jsonOut {
+			if err := bench.WriteFeedJSON(os.Stdout, []bench.FeedResult{res}); err != nil {
+				fatal(err)
+			}
+		} else {
+			bench.PrintFeed(os.Stdout, res)
+		}
+		return
+	}
+	results := feedPartSweep(icfg, !jsonOut, freshDir)
+	if jsonOut {
+		if err := bench.WriteFeedJSON(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// runBenchJSON regenerates the checked-in BENCH_ingest.json: the ingest
+// lane sweep and the feed partition sweep as one JSON object with keys
+// "Ingest" and "Feed". The checked-in file is produced with
+// `sibench -benchjson -backend mem`.
+func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
+	ingests := ingestLaneSweep(icfg, false, freshDir)
+	icfg.Lanes = 1
+	feeds := feedPartSweep(icfg, false, freshDir)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Ingest []bench.IngestResult
+		Feed   []bench.FeedResult
+	}{ingests, feeds}); err != nil {
+		fatal(err)
 	}
 }
 

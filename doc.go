@@ -1,0 +1,79 @@
+// Package sistream is a Go reproduction of "Snapshot Isolation for
+// Transactional Stream Processing" (Götze & Sattler, EDBT 2019): a
+// transactional stream processing library combining continuous queries,
+// shared queryable states (tables) with MVCC snapshot isolation, a
+// consistency protocol for multi-state transactions, and ad-hoc snapshot
+// queries — plus the S2PL and BOCC baselines the paper evaluates against
+// and a persistent LSM key-value store as the base table.
+//
+// # Concurrency architecture
+//
+// The transactional core is built to keep readers and writers off each
+// other's locks at every layer (see DESIGN.md for the full picture):
+//
+//   - The state registry (Context) is striped over 64 independently
+//     latched shards keyed by FNV-1a of the state/group ID, so
+//     Begin/lookup/Register scale with cores; the active-transaction
+//     table is latch-free (CAS bit vectors).
+//   - Commits of one topology group flow through a group-commit
+//     pipeline: concurrent committers enqueue validated write sets, a
+//     batch leader assigns a contiguous timestamp range, admits each
+//     transaction under First-Committer-Wins (against installed versions
+//     plus earlier same-batch admissions), persists one coalesced batch
+//     per base store — a single fsync amortized over the whole batch —
+//     installs all versions and publishes the group's LastCTS once.
+//     Transactions spanning groups fall back to taking every involved
+//     group's commit latch in canonical order, so cross-group commits
+//     stay deadlock-free and atomic.
+//   - Per-key version arrays are append-in-place RCU: versions ascend by
+//     commit timestamp, a new version is published by one atomic store of
+//     the element count and readers scan lock-free — a snapshot read
+//     never contends with the commit apply path, however hot the key,
+//     and the install fast path allocates nothing but the value.
+//   - The dataflow engine is vectorized: edges carry element batches,
+//     chains of stateless operators fuse into their consumer's goroutine,
+//     and TO_TABLE applies each transaction's tuples through a batched
+//     write API (Protocol.WriteBatch) — one snapshot pin and one latch
+//     acquisition per batch. See DESIGN.md "Vectorized dataflow".
+//   - Queries scale past one core on both sides of a table.
+//     Stream.Parallelize splits the ingest spine into keyed lanes with
+//     per-lane write segments re-serialized at a transaction-preserving
+//     merge barrier; FromTablePartitioned splits the change feed
+//     (TO_STREAM) into per-partition commit watchers merged through the
+//     same barrier discipline, so an end-to-end pipeline — ingest lanes
+//     → table → feed partitions → downstream lanes — is shared-nothing
+//     per key from source to sink. See DESIGN.md "Parallel keyed ingest
+//     lanes" and "Partitioned change feed".
+//
+// Group.CommitStats reports the pipeline's achieved batching;
+// cmd/sibench -scaling sweeps it against writer concurrency.
+//
+// The façade re-exports the user-facing API of the internal packages:
+//
+//	sistream.NewContext / CreateTable / CreateGroup  state management
+//	sistream.NewSI / NewS2PL / NewBOCC               protocols
+//	sistream.NewTopology + Stream operators          dataflow queries
+//	sistream.ToStream / FromTablePartitioned         change feeds
+//	sistream.OpenLSM / NewMemStore                   base tables
+//
+// A minimal write-then-query program:
+//
+//	store := sistream.NewMemStore()
+//	ctx := sistream.NewContext()
+//	tbl, _ := ctx.CreateTable("events", store, sistream.TableOptions{})
+//	ctx.CreateGroup("g", tbl)
+//	p := sistream.NewSI(ctx)
+//	tx, _ := p.Begin()
+//	p.Write(tx, tbl, "k", []byte("v"))
+//	p.Commit(tx)
+//	rows, _ := sistream.TableSnapshot(p, tbl)
+//
+// # Where to read more
+//
+//   - README.md — architecture overview, quickstart, benchmark numbers.
+//   - DESIGN.md — the full design: sharded registry, group commit,
+//     vectorized dataflow, parallel lanes, partitioned feed, MVCC store.
+//   - examples/ — complete runnable programs (quickstart, ad-hoc
+//     queries, crash recovery, the smart-meter scenario).
+//   - PAPER.md — the source paper's abstract and claims.
+package sistream

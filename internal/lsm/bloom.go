@@ -1,16 +1,3 @@
-// Package lsm implements a persistent log-structured merge-tree key-value
-// store: a write-ahead log, a skip-list memtable, block-based sorted string
-// tables with bloom filters, leveled compaction, and a manifest-based
-// recovery protocol.
-//
-// It is this repository's substitute for RocksDB, which the paper's
-// evaluation (Section 5) uses as the persistent base table with the sync
-// option enabled. The property that matters for reproducing the paper's
-// results is preserved: committed writes are made durable by a synchronous,
-// batched log append (so the continuous writer is I/O-bound), while point
-// reads are served from memory-resident structures (memtable, table
-// indexes, bloom filters and the OS page cache), so ad-hoc readers are
-// CPU-bound. See DESIGN.md Section 2.
 package lsm
 
 import (

@@ -1,0 +1,34 @@
+// Package lsm implements a persistent log-structured merge-tree key-value
+// store: a write-ahead log, a skip-list memtable, block-based sorted
+// string tables with bloom filters, leveled compaction, a shared
+// data-block LRU cache, and a manifest-based recovery protocol.
+//
+// It is this repository's substitute for RocksDB, which the paper's
+// evaluation (Section 5) uses as the persistent base table with the sync
+// option enabled. The property that matters for reproducing the paper's
+// results is preserved: committed writes are made durable by a
+// synchronous, batched log append (so the continuous writer is
+// I/O-bound), while point reads are served from memory-resident
+// structures (memtable, table indexes, bloom filters, block cache and
+// the OS page cache), so ad-hoc readers are CPU-bound.
+//
+// # Files and recovery
+//
+// A database directory holds numbered WAL files (one per memtable
+// generation), SSTables, a manifest of version edits, and CURRENT
+// pointing at the live manifest. Open rebuilds the level structure from
+// the manifest and replays any WAL at or after its recorded log number.
+// Replay is strict about corruption: a torn FINAL record — a crash
+// mid-append, never acknowledged durable — is discarded (counted in
+// Stats.WALTornTails), but mid-file corruption fails the Open, because
+// the records after it were acknowledged and silently dropping them
+// would be data loss. DumpWAL / `lsmtool wal-dump --skip-corrupt` is the
+// salvage path for that situation: it decodes a log read-only and can
+// resynchronize past corrupt records.
+//
+// The concurrency model is single-writer (writeMu serializes Apply,
+// flush and compaction) with lock-free snapshot readers: Get/Scan
+// briefly take a read latch to snapshot (memtable, version) and then
+// work on immutable state. See DESIGN.md for how the transactional
+// layers above use the store.
+package lsm

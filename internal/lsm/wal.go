@@ -74,6 +74,15 @@ func (w *walWriter) close() error {
 	return err
 }
 
+// walReplayStats summarizes one replayWAL pass: how many durable records
+// were applied and whether the log ended in a torn final record (a
+// partial append from a crash, discarded as never-acknowledged). DB.Open
+// accumulates these into the counters DB.Stats reports.
+type walReplayStats struct {
+	records  int
+	tornTail bool
+}
+
 // replayWAL reads records from path in order, calling apply for each
 // decoded batch. It tolerates (and stops at) a torn FINAL record — a
 // partial write from a crash mid-append, which was never acknowledged as
@@ -82,19 +91,21 @@ func (w *walWriter) close() error {
 // beyond it WERE acknowledged durable, so silently dropping them would be
 // data loss. That case surfaces errCorrupt with the record's offset; the
 // torn-tail test is purely physical — the broken record must extend to
-// the end of the file.
-func replayWAL(path string, apply func(ops []walOp) error) error {
+// the end of the file. (DumpWAL is the salvage path for corrupt logs:
+// it can skip the broken record and recover what follows.)
+func replayWAL(path string, apply func(ops []walOp) error) (walReplayStats, error) {
+	var st walReplayStats
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return nil
+			return st, nil
 		}
-		return err
+		return st, err
 	}
 	defer f.Close()
 	fi, err := f.Stat()
 	if err != nil {
-		return err
+		return st, err
 	}
 	size := fi.Size()
 	r := bufio.NewReaderSize(f, 1<<16)
@@ -108,46 +119,58 @@ func replayWAL(path string, apply func(ops []walOp) error) error {
 	tornTail := func(n uint32) bool { return off+8+int64(n) >= size }
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // clean end or torn header: stop
+			if err == io.EOF {
+				return st, nil // clean end
 			}
-			return err
+			if err == io.ErrUnexpectedEOF {
+				st.tornTail = true // torn header: stop
+				return st, nil
+			}
+			return st, err
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		want := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > 1<<30 {
+		if n > maxWALPayload {
 			// Implausible length: a torn header at the tail, or garbage in
 			// the middle of the log with real records after it.
 			if tornTail(n) {
-				return nil
+				st.tornTail = true
+				return st, nil
 			}
-			return fmt.Errorf("%w: wal record at offset %d: implausible length %d with %d bytes following",
+			return st, fmt.Errorf("%w: wal record at offset %d: implausible length %d with %d bytes following",
 				errCorrupt, off, n, size-off-8)
 		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
-				return nil // torn payload (reaches EOF by construction)
+				st.tornTail = true // torn payload (reaches EOF by construction)
+				return st, nil
 			}
-			return err
+			return st, err
 		}
 		if crc32.Checksum(payload, crcTable) != want {
 			if tornTail(n) {
-				return nil // torn tail; everything durable precedes it
+				st.tornTail = true // torn tail; everything durable precedes it
+				return st, nil
 			}
-			return fmt.Errorf("%w: wal record at offset %d: crc mismatch with %d bytes of log following",
+			return st, fmt.Errorf("%w: wal record at offset %d: crc mismatch with %d bytes of log following",
 				errCorrupt, off, size-(off+8+int64(n)))
 		}
 		ops, err := decodeBatchPayload(payload)
 		if err != nil {
-			return fmt.Errorf("%w: wal record at offset %d: malformed batch payload", errCorrupt, off)
+			return st, fmt.Errorf("%w: wal record at offset %d: malformed batch payload", errCorrupt, off)
 		}
 		if err := apply(ops); err != nil {
-			return err
+			return st, err
 		}
+		st.records++
 		off += 8 + int64(n)
 	}
 }
+
+// maxWALPayload bounds a plausible WAL record payload (1 GiB); larger
+// declared lengths are treated as corruption.
+const maxWALPayload = 1 << 30
 
 // walOp is one decoded WAL operation.
 type walOp struct {

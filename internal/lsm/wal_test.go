@@ -40,7 +40,7 @@ func writeTestWAL(t *testing.T, n int) (path string, offsets []int64) {
 // replayKeys replays the log and returns the keys applied, in order.
 func replayKeys(path string) ([]string, error) {
 	var keys []string
-	err := replayWAL(path, func(ops []walOp) error {
+	_, err := replayWAL(path, func(ops []walOp) error {
 		for _, op := range ops {
 			keys = append(keys, string(op.key))
 		}
@@ -140,5 +140,163 @@ func TestReplayWALTruncatedTail(t *testing.T) {
 	}
 	if len(keys) != 2 {
 		t.Fatalf("replayed %v, want [k0 k1]", keys)
+	}
+}
+
+// dumpKeys runs DumpWAL and flattens the decoded keys.
+func dumpKeys(t *testing.T, path string, skipCorrupt bool) ([]string, WALDumpStats) {
+	t.Helper()
+	var keys []string
+	stats, err := DumpWAL(path, skipCorrupt, func(_ int64, ops []WALEntry) bool {
+		for _, op := range ops {
+			keys = append(keys, string(op.Key))
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("DumpWAL(skipCorrupt=%t): %v", skipCorrupt, err)
+	}
+	return keys, stats
+}
+
+// TestDumpWALClean: a well-formed log dumps completely with zeroed
+// corruption counters.
+func TestDumpWALClean(t *testing.T) {
+	path, _ := writeTestWAL(t, 3)
+	keys, stats := dumpKeys(t, path, false)
+	if fmt.Sprint(keys) != "[k0 k1 k2]" {
+		t.Fatalf("dumped %v, want [k0 k1 k2]", keys)
+	}
+	if stats.Records != 3 || stats.Ops != 3 || stats.CorruptRecords != 0 || stats.TornTail {
+		t.Fatalf("stats = %+v, want 3 clean records", stats)
+	}
+}
+
+// TestDumpWALStrictMirrorsRecovery: without -skip-corrupt the dump stops
+// at mid-file corruption with errCorrupt, exactly like replayWAL.
+func TestDumpWALStrictMirrorsRecovery(t *testing.T) {
+	path, offsets := writeTestWAL(t, 3)
+	flipByte(t, path, offsets[1]+8)
+	_, err := DumpWAL(path, false, nil)
+	if !errors.Is(err, errCorrupt) {
+		t.Fatalf("want errCorrupt, got %v", err)
+	}
+}
+
+// TestDumpWALSalvageInterior is the salvage contract: with skipCorrupt a
+// mid-file corrupt record is skipped, the dump resynchronizes on the
+// next valid record, and everything durable around the corruption is
+// recovered — the records recovery itself refuses to silently drop.
+func TestDumpWALSalvageInterior(t *testing.T) {
+	path, offsets := writeTestWAL(t, 5)
+	flipByte(t, path, offsets[1]+8) // payload corruption
+	flipByte(t, path, offsets[3]+2) // length-field corruption (framing lost)
+	keys, stats := dumpKeys(t, path, true)
+	if fmt.Sprint(keys) != "[k0 k2 k4]" {
+		t.Fatalf("salvaged %v, want [k0 k2 k4]", keys)
+	}
+	if stats.CorruptRecords != 2 || stats.Records != 3 || stats.SkippedBytes == 0 {
+		t.Fatalf("stats = %+v, want 2 corrupt spots and 3 salvaged records", stats)
+	}
+	if stats.TornTail {
+		t.Fatalf("interior corruption misclassified as torn tail: %+v", stats)
+	}
+}
+
+// TestDumpWALSalvageTornTail: a torn final record is reported as such,
+// not counted as corruption, in both modes.
+func TestDumpWALSalvageTornTail(t *testing.T) {
+	path, offsets := writeTestWAL(t, 3)
+	if err := os.Truncate(path, offsets[2]+3); err != nil {
+		t.Fatal(err)
+	}
+	for _, skip := range []bool{false, true} {
+		keys, stats := dumpKeys(t, path, skip)
+		if fmt.Sprint(keys) != "[k0 k1]" {
+			t.Fatalf("skip=%t: dumped %v, want [k0 k1]", skip, keys)
+		}
+		if !stats.TornTail || stats.CorruptRecords != 0 {
+			t.Fatalf("skip=%t: stats = %+v, want torn tail and no corrupt records", skip, stats)
+		}
+	}
+}
+
+// TestDumpWALImplausibleTornHeader: a garbage final header whose length
+// field is implausible (>1 GiB) declares an extent past EOF and must be
+// treated as a torn tail by BOTH recovery and the strict dump — a strict
+// wal-dump exiting nonzero on a log Open accepts would be a false
+// corruption report.
+func TestDumpWALImplausibleTornHeader(t *testing.T) {
+	path, _ := writeTestWAL(t, 2)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := [8]byte{0xff, 0xff, 0xff, 0xff, 0xde, 0xad, 0xbe, 0xef}
+	if _, err := f.Write(garbage[:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	keys, err := replayKeys(path)
+	if err != nil || fmt.Sprint(keys) != "[k0 k1]" {
+		t.Fatalf("recovery: keys=%v err=%v, want [k0 k1] and nil", keys, err)
+	}
+	for _, skip := range []bool{false, true} {
+		keys, stats := dumpKeys(t, path, skip)
+		if fmt.Sprint(keys) != "[k0 k1]" {
+			t.Fatalf("skip=%t: dumped %v, want [k0 k1]", skip, keys)
+		}
+		if !stats.TornTail || stats.CorruptRecords != 0 {
+			t.Fatalf("skip=%t: stats=%+v, want torn tail, no corruption", skip, stats)
+		}
+	}
+}
+
+// TestOpenSurfacesWALRecoveryCounters: DB.Stats must report the records
+// replayed at Open and the torn tail a crash mid-append leaves behind.
+func TestOpenSurfacesWALRecoveryCounters(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record of the live WAL.
+	wals, err := WALFiles(dir)
+	if err != nil || len(wals) == 0 {
+		t.Fatalf("wal files: %v (%d)", err, len(wals))
+	}
+	last := wals[len(wals)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	db, err = Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	st := db.Stats()
+	if st.WALRecordsRecovered != 3 || st.WALTornTails != 1 {
+		t.Fatalf("stats = recovered %d / torn %d, want 3 / 1", st.WALRecordsRecovered, st.WALTornTails)
+	}
+	// The three acknowledged records survived; the torn one is gone.
+	for i := 0; i < 3; i++ {
+		if _, ok, err := db.Get([]byte(fmt.Sprintf("k%d", i))); err != nil || !ok {
+			t.Fatalf("k%d lost after torn-tail recovery (ok=%t err=%v)", i, ok, err)
+		}
+	}
+	if _, ok, _ := db.Get([]byte("k3")); ok {
+		t.Fatal("torn (unacknowledged) record resurrected")
 	}
 }

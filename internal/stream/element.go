@@ -1,25 +1,3 @@
-// Package stream is the dataflow substrate of the reproduction: a
-// channel-based stream-processing framework playing the role PipeFabric
-// plays in the paper. A query is a Topology — a graph of operators
-// connected by subscribed streams — and transaction boundaries travel
-// in-band as punctuations (BOT / COMMIT / ROLLBACK control elements),
-// implementing the paper's data-centric transaction model (Section 3).
-//
-// The four linking operators of the paper connect streams and
-// transactional tables:
-//
-//	TO_TABLE    Stream.ToTable — applies stream tuples to a table inside
-//	            the transaction delimited by the punctuations.
-//	TO_STREAM   ToStream — emits a stream of committed changes of a
-//	            table (per-commit trigger policy).
-//	FROM(table) TableSnapshot / QueryKeys — one-time snapshot queries.
-//	FROM(stream) Hub.Attach — subscribe to a stream at the point of
-//	            attachment.
-//
-// Execution is vectorized: edges carry batches of elements and chains of
-// stateless operators fuse into a single goroutine (see batch.go). The
-// programming model is unchanged — sources emit and sinks observe one
-// element at a time, and punctuations keep their exact in-band position.
 package stream
 
 import (

@@ -1,0 +1,103 @@
+package stream
+
+// Partitioned change feed: the TO_STREAM half of the shared-nothing
+// pipeline. The sequential ToStream funnels every downstream consumer
+// through one commit-watcher goroutine — however many ingest lanes feed
+// the table, the change feed re-serializes behind it. FromTablePartitioned
+// removes that stage: the feed is split into P per-partition source nodes
+// (each draining only its key range's committed write-set entries from a
+// txn.Table.WatchPartitioned feed), exposed as a ParallelRegion whose
+// Merge barrier re-serializes the commit punctuations with exactly the
+// same cyclic-barrier discipline the ingest lanes use — so a downstream
+// Merge observes exactly one BOT/COMMIT pair per transaction, and per-key
+// order is preserved end to end: ingest lanes → table → feed partitions →
+// downstream lanes is shared-nothing per key from source to sink.
+
+import (
+	"fmt"
+
+	"sistream/internal/txn"
+)
+
+// FromTablePartitioned is the partitioned TO_STREAM linking operator with
+// the per-commit trigger policy: it subscribes to the committed changes
+// of tbl split into parts key-hash partitions (keyFn, nil selecting
+// FNV-1a of the key — the same default the ingest lanes use, so matching
+// partition and lane counts agree on key placement) and returns the
+// partitions as the lanes of a ParallelRegion.
+//
+// Each committed transaction that wrote tbl appears on every lane as a
+// BOT punctuation, the lane's share of the changed rows as data elements,
+// and a COMMIT punctuation; both punctuations carry the commit timestamp
+// in Tuple.Ts. Data elements are shaped exactly as ToStream shapes them:
+// Key is the row key, Value the committed value as of that commit's own
+// snapshot (Num parsed when decimal), Ts the commit timestamp, Delete set
+// when the change removed the row. Reading at the commit's snapshot means
+// the emitted value is exactly what that transaction installed, even if
+// later commits already overwrote it.
+//
+// The region must be closed with Merge (directly, or after deriving
+// per-partition operator chains with Apply — the lane-to-lane hookup that
+// lets a downstream pipeline consume the feed without any serialization
+// point until its own barrier). The Merge barrier re-serializes the
+// punctuations: the merged stream carries each transaction's BOT and
+// COMMIT exactly once, every data element of the transaction in between,
+// and per-key element order preserved — the same contract the ingest-side
+// ParallelRegion provides, because it is the same barrier.
+//
+// The feed buffers up to txn.DefaultFeedBuf commits; if consumers fall
+// that far behind, the committing thread blocks (backpressure) rather
+// than dropping committed changes. stop ends the feed: queued commits are
+// still delivered, then the lanes close. Punctuation-only transactions
+// (commits not writing tbl) do not appear on the feed, matching ToStream.
+//
+// Caveat, shared with ToStream: the feed reads historical snapshots but
+// holds no transaction, so its backlog does not pin the GC horizon. A
+// feed lagging behind an aggressively collected table
+// (TableOptions.GCEveryCommits, or a hot key's version array turning
+// over) can find a commit's version already reclaimed and report the
+// oldest surviving state of the row instead. Keep GC thresholds above
+// the feed's worst-case lag; ROADMAP.md tracks pinning the feed's
+// oldest undelivered commit into the horizon.
+func FromTablePartitioned(t *Topology, tbl *txn.Table, parts int, keyFn func(string) uint64) (*ParallelRegion, func()) {
+	feeds, stop, err := tbl.WatchPartitioned(parts, 0, keyFn)
+	if err != nil {
+		panic(fmt.Sprintf("stream: FromTablePartitioned: %v", err))
+	}
+	r := &ParallelRegion{t: t}
+	r.lanes = make([]*Stream, parts)
+	for i := range r.lanes {
+		lane := t.newStream()
+		r.lanes[i] = lane
+		feed := feeds[i]
+		t.spawn(fmt.Sprintf("from_table/%s/p%d", tbl.ID(), i), func() {
+			defer close(lane.ch)
+			<-t.start
+			for ev := range feed {
+				emitFeedCommit(lane, tbl, ev)
+			}
+		})
+	}
+	return r, stop
+}
+
+// emitFeedCommit ships one commit's changes on a feed lane as an in-band
+// [BOT, rows..., COMMIT] run, split at batchCap so a large commit never
+// delays delivery of its first rows. Rows are shaped by changeTuple —
+// the same constructor the sequential ToStream emits through.
+func emitFeedCommit(lane *Stream, tbl *txn.Table, ev txn.FeedEvent) {
+	punct := func(k Kind) Element {
+		return Element{Kind: k, Tuple: Tuple{Ts: int64(ev.CTS)}}
+	}
+	b := getBatch()
+	b = append(b, punct(KindBOT))
+	for _, key := range ev.Keys {
+		b = append(b, Element{Kind: KindData, Tuple: changeTuple(tbl, key, ev.CTS)})
+		if len(b) >= batchCap {
+			lane.ch <- b
+			b = getBatch()
+		}
+	}
+	b = append(b, punct(KindCommit))
+	lane.ch <- b
+}

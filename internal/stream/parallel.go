@@ -37,18 +37,12 @@ import (
 // identical per-transaction element multisets, identical table contents
 // and stats for every lane count, against the sequential reference).
 
-// laneKey is the default routing hash (FNV-1a of the tuple key — the same
-// family the table shards use; an empty key routes to lane 0).
+// laneKey is the default routing hash: txn.DefaultKeyHash of the tuple
+// key — the SAME function the partitioned change feed defaults to, so
+// default-keyed ingest lanes and feed partitions agree on placement
+// (an empty key routes to lane 0).
 func laneKey(t Tuple) uint64 {
-	if len(t.Key) == 0 {
-		return 0
-	}
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(t.Key); i++ {
-		h ^= uint64(t.Key[i])
-		h *= 1099511628211
-	}
-	return h
+	return txn.DefaultKeyHash(t.Key)
 }
 
 // ParallelRegion is a parallel section of a topology: P keyed lanes
@@ -216,8 +210,9 @@ func (c *laneTableCtl) isPoisoned(tx *txn.Txn) bool {
 //     copies happen lane-locally, in parallel, with no shared latch).
 //   - At every punctuation the lane flushes its segment into the shared
 //     transaction — through the protocol's SegmentWriter fast path when
-//     available (SI: ownership transfer, one latch acquisition), through
-//     Protocol.WriteBatch otherwise — BEFORE acknowledging the barrier,
+//     available (SI and BOCC: ownership transfer, one latch acquisition),
+//     through Protocol.WriteBatch otherwise — BEFORE acknowledging the
+//     barrier,
 //     so the coordinator never commits a transaction with lane writes
 //     still buffered.
 //   - The commit itself (CommitState on COMMIT, Abort on ROLLBACK, global

@@ -155,7 +155,7 @@ type TableChange struct {
 // far behind, the committing thread blocks (backpressure) — a deliberate
 // choice over silently dropping committed changes.
 func ToStream(t *Topology, tbl *txn.Table, p txn.Protocol) (*Stream, func()) {
-	const feedBuf = 4096
+	const feedBuf = txn.DefaultFeedBuf
 	type commitEvent struct {
 		cts  txn.Timestamp
 		keys []string
@@ -178,22 +178,10 @@ func ToStream(t *Topology, tbl *txn.Table, p txn.Protocol) (*Stream, func()) {
 	})
 
 	out := t.newStream()
-	// emit reads each changed row at the commit's own snapshot so the
-	// emitted value is exactly what that transaction installed, even if
-	// later commits already overwrote it.
 	emit := func(ev commitEvent) {
 		b := getBatch()
 		for _, key := range ev.keys {
-			v, ok := tbl.ReadAt(key, ev.cts)
-			tuple := Tuple{Key: key, Ts: int64(ev.cts), Delete: !ok}
-			if ok {
-				tuple.Value = append([]byte(nil), v...)
-				var n float64
-				if _, err := fmt.Sscanf(string(v), "%g", &n); err == nil {
-					tuple.Num = n
-				}
-			}
-			b = append(b, Element{Kind: KindData, Tuple: tuple})
+			b = append(b, Element{Kind: KindData, Tuple: changeTuple(tbl, key, ev.cts)})
 			if len(b) >= batchCap {
 				out.ch <- b
 				b = getBatch()
@@ -228,6 +216,26 @@ func ToStream(t *Topology, tbl *txn.Table, p txn.Protocol) (*Stream, func()) {
 		}
 	})
 	return out, func() { close(stopCh) }
+}
+
+// changeTuple shapes one committed row change as a feed tuple — the
+// single definition both TO_STREAM paths (ToStream, FromTablePartitioned)
+// emit: Key is the row key, Ts the commit timestamp, Delete set when the
+// row is gone at that snapshot, Value a private copy of the committed
+// value (Num parsed when decimal). The row is read at the commit's own
+// snapshot so the value is exactly what that transaction installed, even
+// if later commits already overwrote it.
+func changeTuple(tbl *txn.Table, key string, cts txn.Timestamp) Tuple {
+	v, ok := tbl.ReadAt(key, cts)
+	tuple := Tuple{Key: key, Ts: int64(cts), Delete: !ok}
+	if ok {
+		tuple.Value = append([]byte(nil), v...)
+		var n float64
+		if _, err := fmt.Sscanf(string(v), "%g", &n); err == nil {
+			tuple.Num = n
+		}
+	}
+	return tuple
 }
 
 // KV is one row of a snapshot query result.

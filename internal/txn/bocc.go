@@ -39,7 +39,10 @@ func NewBOCC(ctx *Context) *BOCC {
 	return &BOCC{protocolBase{ctx: ctx}}
 }
 
-var _ Protocol = (*BOCC)(nil)
+var (
+	_ Protocol      = (*BOCC)(nil)
+	_ SegmentWriter = (*BOCC)(nil)
+)
 
 // Name implements Protocol.
 func (p *BOCC) Name() string { return "bocc" }
@@ -106,6 +109,15 @@ func (p *BOCC) Delete(tx *Txn, tbl *Table, key string) error {
 // locks and pins no snapshot on write), one latch acquisition per batch.
 func (p *BOCC) WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error) {
 	return bufferWriteBatch(tx, tbl, ops, false)
+}
+
+// WriteSegment implements SegmentWriter: BOCC's write path has no
+// per-key side effects (no locks, no snapshot pin — writes are pure
+// write-set appends), so a lane's segment can be adopted wholesale,
+// transferring ownership of the buffered value copies instead of taking
+// the second copy the generic WriteBatch fallback pays.
+func (p *BOCC) WriteSegment(tx *Txn, tbl *Table, seg *Segment) (int, error) {
+	return writeSegment(tx, tbl, seg, false)
 }
 
 // CommitState implements Protocol.

@@ -1,0 +1,38 @@
+// Package txn implements the paper's transactional state management
+// (Section 4): the global state context, the transactional table wrapper
+// over a key-value base table, three concurrency-control protocols —
+// snapshot isolation via MVCC (the paper's contribution), strict
+// two-phase locking (S2PL) and backward-oriented optimistic concurrency
+// control (BOCC) as evaluation baselines — and the consistency protocol
+// that makes commits spanning multiple states of one topology group
+// atomically visible (Section 4.3).
+//
+// # Layout
+//
+// The package splits along the paper's Figure 3:
+//
+//	context.go      Context (registry shards, active-transaction table,
+//	                logical clock), Group and the commit-watcher hooks
+//	txn.go          Txn handles, write sets, snapshot pins
+//	table.go        Table: the MVCC dictionary over a kv.Store base table
+//	consistency.go  the shared commit machinery: per-state flags,
+//	                group-commit pipeline, multi-group slow path
+//	si.go           snapshot isolation (First-Committer-Wins)
+//	s2pl.go         strict two-phase locking (wait-die)
+//	bocc.go         backward-oriented optimistic validation
+//	segment.go      per-lane write-set segments for parallel ingest
+//	feed.go         partitioned change-feed fan-out (WatchPartitioned)
+//	lockmgr.go      the S2PL lock table
+//
+// # Scaling machinery
+//
+// Three mechanisms lift the paper's single-latch design to multi-core
+// scale without changing its semantics: the registry and each table's
+// key dictionary are striped over 64 latch shards; commits of one group
+// flow through an adaptive leader/follower group-commit pipeline (one
+// coalesced durability batch and one LastCTS publish per batch); and
+// parallel stream queries move per-tuple work off the shared transaction
+// latch with Segments on the write side and WatchPartitioned fan-out on
+// the change-feed side. DESIGN.md walks through each with its
+// correctness invariants.
+package txn

@@ -1,0 +1,192 @@
+package txn
+
+// This file implements the transaction-layer half of the partitioned
+// change feed (lane-aware TO_STREAM). The plain Group.Watch hook delivers
+// every commit to every listener on the committing goroutine, so all
+// downstream consumers of a table's change feed funnel through whatever
+// single goroutine drains that one listener — the last sequential stage
+// of an otherwise shared-nothing pipeline. WatchPartitioned removes it:
+// the committed write set of a table is fanned out by key hash into P
+// per-partition event channels, each drained by an independent consumer,
+// with commit boundaries preserved on every partition so the stream layer
+// can re-serialize them through its lane barrier.
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultFeedBuf is the default per-feed commit buffer: how many commits
+// the partitioned feed queues before the committing thread blocks
+// (backpressure — a deliberate choice over silently dropping committed
+// changes, matching the sequential TO_STREAM feed).
+const DefaultFeedBuf = 4096
+
+// FeedEvent is one committed transaction's changes to a table, restricted
+// to the keys of one partition.
+//
+// Keys holds the partition's written keys (deletes included) in write-set
+// order — first-write order within the transaction — so per-key update
+// order is preserved end to end. Keys may be empty: every partition
+// receives an event for every commit that touched the table, including
+// commits whose writes all hashed elsewhere, because the consumers'
+// merge barrier needs an aligned commit sequence on every partition. The
+// slice is private to the receiving partition and may be retained.
+type FeedEvent struct {
+	// CTS is the commit timestamp of the transaction.
+	CTS Timestamp
+	// Keys is this partition's share of the written keys, in write-set
+	// order; empty when the commit wrote only other partitions' keys.
+	Keys []string
+}
+
+// DefaultKeyHash is the default routing hash shared by the keyed
+// parallel constructs — stream.Parallelize's lane router and
+// WatchPartitioned's feed fan-out both default to it — so a feed
+// partitioned with the default function against an ingest region
+// parallelized with its default function agrees lane-for-lane on key
+// placement when the counts match. FNV-1a of the key; the empty key
+// hashes to 0 (lane/partition 0), matching the lane router's routing of
+// keyless tuples.
+func DefaultKeyHash(key string) uint64 {
+	if len(key) == 0 {
+		return 0
+	}
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// WatchPartitioned registers a partitioned change feed on the table: it
+// returns parts event channels, one per partition, each carrying the
+// table's committed changes whose keys hash to that partition (keyFn, nil
+// selecting FNV-1a of the key), in commit order.
+//
+// Contract:
+//
+//   - Every commit that wrote at least one key of this table produces
+//     exactly one FeedEvent on EVERY partition channel, in the same
+//     order; partitions the commit did not touch receive the event with
+//     empty Keys. Consumers can therefore treat the event sequence as an
+//     aligned commit log and re-serialize boundaries across partitions
+//     (stream.FromTablePartitioned runs them through its lane barrier).
+//   - A key always hashes to the same partition, so per-key update order
+//     is preserved within its partition channel.
+//   - The fan-out runs on a dedicated router goroutine, off the group's
+//     commit latch: the committing thread only enqueues (commit
+//     timestamp, shared key slice) into a buffer of buf commits
+//     (DefaultFeedBuf when buf <= 0) and blocks only when the feed falls
+//     that far behind — the same backpressure discipline as Group.Watch
+//     based feeds.
+//
+// stop shuts the feed down: commits after stop are dropped, commits
+// already queued are still delivered (drain), and all partition channels
+// are closed once the queue is empty. stop is idempotent. The feed
+// registration itself cannot be removed from the group (watcher
+// registrations are permanent, as with Watch); a stopped feed's watcher
+// reduces to a channel-closed check.
+func (t *Table) WatchPartitioned(parts, buf int, keyFn func(string) uint64) (feeds []<-chan FeedEvent, stop func(), err error) {
+	if parts < 1 {
+		return nil, nil, fmt.Errorf("txn: WatchPartitioned needs parts >= 1, got %d", parts)
+	}
+	g := t.group
+	if g == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownState, t.id)
+	}
+	if keyFn == nil {
+		keyFn = DefaultKeyHash
+	}
+	if buf <= 0 {
+		buf = DefaultFeedBuf
+	}
+
+	type rawEvent struct {
+		cts  Timestamp
+		keys []string // the shared write-set order slice; do not modify
+	}
+	in := make(chan rawEvent, buf)
+	stopCh := make(chan struct{})
+	var stopOnce sync.Once
+	stop = func() { stopOnce.Do(func() { close(stopCh) }) }
+
+	// The commit-latch side: one plain watcher that enqueues and returns.
+	g.Watch(func(cts Timestamp, writes map[StateID][]string) {
+		keys, ok := writes[t.id]
+		if !ok {
+			return
+		}
+		// Check stop first on its own: a select over a closed stopCh AND a
+		// ready buffer picks randomly, which would let commits issued
+		// after stop returned sneak into the drain nondeterministically.
+		select {
+		case <-stopCh:
+			return
+		default:
+		}
+		select {
+		case <-stopCh:
+		case in <- rawEvent{cts: cts, keys: keys}:
+		}
+	})
+
+	chans := make([]chan FeedEvent, parts)
+	feeds = make([]<-chan FeedEvent, parts)
+	for i := range chans {
+		chans[i] = make(chan FeedEvent, buf)
+		feeds[i] = chans[i]
+	}
+
+	// The router: splits each commit's write-set order into per-partition
+	// key slices and delivers the event to every partition. Delivery is
+	// blocking — a slow partition backpressures the router and, once the
+	// in buffer fills, the committing thread — and strictly in commit
+	// order, so all partitions observe the same aligned event sequence.
+	deliver := func(ev rawEvent) {
+		// Every partition gets a PRIVATE key slice — also at parts == 1,
+		// where handing the shared write-set order slice through would
+		// break FeedEvent's may-retain/may-modify contract for any other
+		// watcher (a sequential ToStream, a second feed) holding the same
+		// slice.
+		buckets := make([][]string, parts)
+		if parts == 1 {
+			buckets[0] = append(make([]string, 0, len(ev.keys)), ev.keys...)
+		} else {
+			for _, k := range ev.keys {
+				p := int(keyFn(k) % uint64(parts))
+				buckets[p] = append(buckets[p], k)
+			}
+		}
+		for i := range chans {
+			chans[i] <- FeedEvent{CTS: ev.cts, Keys: buckets[i]}
+		}
+	}
+	go func() {
+		defer func() {
+			for _, c := range chans {
+				close(c)
+			}
+		}()
+		for {
+			select {
+			case <-stopCh:
+				// Drain commits already queued so a consumer that stops
+				// the feed after its writers finished still sees every
+				// committed change on every partition.
+				for {
+					select {
+					case ev := <-in:
+						deliver(ev)
+					default:
+						return
+					}
+				}
+			case ev := <-in:
+				deliver(ev)
+			}
+		}
+	}()
+	return feeds, stop, nil
+}

@@ -13,10 +13,10 @@ package txn
 // private segment with no synchronization at all, and merges the whole
 // segment into the transaction's write set in a single latch acquisition
 // at the commit barrier. Protocols that can adopt the segment's buffered
-// values directly implement SegmentWriter (SI does — its WriteBatch path
-// has no per-key side effects); the others go through the generic
-// Protocol.WriteBatch, which re-copies values but keeps protocol
-// semantics (S2PL's per-key exclusive locks, BOCC's pure appends) intact.
+// values directly implement SegmentWriter (SI and BOCC do — neither
+// write path has per-key side effects); the others go through the
+// generic Protocol.WriteBatch, which re-copies values but keeps protocol
+// semantics (S2PL's per-key exclusive locks) intact.
 // Either way the concurrent calls of the P lanes are serialized by the
 // transaction latch (tx.mu) — per-lane latching, paid once per lane per
 // transaction instead of once per tuple.

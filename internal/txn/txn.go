@@ -1,11 +1,3 @@
-// Package txn implements the paper's transactional state management
-// (Section 4): the global state context, the transactional table wrapper
-// over a key-value base table, three concurrency-control protocols —
-// snapshot isolation via MVCC (the paper's contribution), strict
-// two-phase locking (S2PL) and backward-oriented optimistic concurrency
-// control (BOCC) as evaluation baselines — and the consistency protocol
-// that makes commits spanning multiple states of one topology group
-// atomically visible (Section 4.3).
 package txn
 
 import (

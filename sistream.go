@@ -1,64 +1,3 @@
-// Package sistream is a Go reproduction of "Snapshot Isolation for
-// Transactional Stream Processing" (Götze & Sattler, EDBT 2019): a
-// transactional stream processing library combining continuous queries,
-// shared queryable states (tables) with MVCC snapshot isolation, a
-// consistency protocol for multi-state transactions, and ad-hoc snapshot
-// queries — plus the S2PL and BOCC baselines the paper evaluates against
-// and a persistent LSM key-value store as the base table.
-//
-// # Concurrency architecture
-//
-// The transactional core is built to keep readers and writers off each
-// other's locks at every layer (see DESIGN.md for the full picture):
-//
-//   - The state registry (Context) is striped over 64 independently
-//     latched shards keyed by FNV-1a of the state/group ID, so
-//     Begin/lookup/Register scale with cores; the active-transaction
-//     table is latch-free (CAS bit vectors).
-//   - Commits of one topology group flow through a group-commit
-//     pipeline: concurrent committers enqueue validated write sets, a
-//     batch leader assigns a contiguous timestamp range, admits each
-//     transaction under First-Committer-Wins (against installed versions
-//     plus earlier same-batch admissions), persists one coalesced batch
-//     per base store — a single fsync amortized over the whole batch —
-//     installs all versions and publishes the group's LastCTS once.
-//     Transactions spanning groups fall back to taking every involved
-//     group's commit latch in canonical order, so cross-group commits
-//     stay deadlock-free and atomic.
-//   - Per-key version arrays are append-in-place RCU: versions ascend by
-//     commit timestamp, a new version is published by one atomic store of
-//     the element count and readers scan lock-free — a snapshot read
-//     never contends with the commit apply path, however hot the key,
-//     and the install fast path allocates nothing but the value.
-//   - The dataflow engine is vectorized: edges carry element batches,
-//     chains of stateless operators fuse into their consumer's goroutine,
-//     and TO_TABLE applies each transaction's tuples through a batched
-//     write API (Protocol.WriteBatch) — one snapshot pin and one latch
-//     acquisition per batch. See DESIGN.md "Vectorized dataflow".
-//
-// Group.CommitStats reports the pipeline's achieved batching;
-// cmd/sibench -scaling sweeps it against writer concurrency.
-//
-// The façade re-exports the user-facing API of the internal packages:
-//
-//	sistream.NewContext / CreateTable / CreateGroup  state management
-//	sistream.NewSI / NewS2PL / NewBOCC               protocols
-//	sistream.NewTopology + Stream operators          dataflow queries
-//	sistream.OpenLSM / NewMemStore                   base tables
-//
-// A minimal write-then-query program:
-//
-//	store := sistream.NewMemStore()
-//	ctx := sistream.NewContext()
-//	tbl, _ := ctx.CreateTable("events", store, sistream.TableOptions{})
-//	ctx.CreateGroup("g", tbl)
-//	p := sistream.NewSI(ctx)
-//	tx, _ := p.Begin()
-//	p.Write(tx, tbl, "k", []byte("v"))
-//	p.Commit(tx)
-//	rows, _ := sistream.TableSnapshot(p, tbl)
-//
-// See examples/ for complete programs and DESIGN.md for the architecture.
 package sistream
 
 import (
@@ -90,7 +29,16 @@ type (
 	GroupID = txn.GroupID
 	// Timestamp is the logical commit timestamp.
 	Timestamp = txn.Timestamp
+	// FeedEvent is one committed transaction's changes to a table,
+	// restricted to one partition of a partitioned change feed
+	// (Table.WatchPartitioned).
+	FeedEvent = txn.FeedEvent
 )
+
+// DefaultFeedBuf is the default commit buffer of change feeds (ToStream,
+// FromTablePartitioned): how many commits queue before the committing
+// thread blocks.
+const DefaultFeedBuf = txn.DefaultFeedBuf
 
 // Dataflow (the paper's Section 3 transaction model for streams).
 type (
@@ -144,6 +92,10 @@ var (
 	NewBOCC = txn.NewBOCC
 	// IsAbort reports whether an error is a retryable transaction abort.
 	IsAbort = txn.IsAbort
+	// DefaultKeyHash is the routing hash Parallelize and the partitioned
+	// change feed default to; pass it (or share a custom function)
+	// wherever ingest lanes and feed partitions must agree on placement.
+	DefaultKeyHash = txn.DefaultKeyHash
 
 	// NewTopology creates an empty dataflow query.
 	NewTopology = stream.New
@@ -151,6 +103,10 @@ var (
 	MergeStreams = stream.Merge
 	// ToStream is the TO_STREAM linking operator (per-commit trigger).
 	ToStream = stream.ToStream
+	// FromTablePartitioned is the partitioned TO_STREAM linking operator:
+	// per-partition commit watchers exposed as the lanes of a
+	// ParallelRegion, re-serialized by its Merge barrier.
+	FromTablePartitioned = stream.FromTablePartitioned
 	// TableSnapshot is the ad-hoc FROM(table) snapshot query.
 	TableSnapshot = stream.TableSnapshot
 	// QueryKeys runs point reads under one read-only transaction.
