@@ -308,6 +308,69 @@ func BenchmarkIngestLanes(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestWindow measures the fused commit spine on the
+// small-transaction workload it targets: commit-every-10 with 4 keyed
+// lanes, windowed transactions and cross-transaction group-commit
+// batching at the barrier. window=1 is the serialized spine (every small
+// transaction pays its own group-commit batch); window=8 lets the spine
+// submit up to 8 consecutive decided transactions as ONE batch — one
+// leader tenure, one coalesced store batch per run. txns/batch reports
+// the achieved commit fan-in.
+func BenchmarkIngestWindow(b *testing.B) {
+	for _, window := range []int{1, 8} {
+		b.Run("window="+itoa(window), func(b *testing.B) {
+			cfg := bench.DefaultIngest()
+			cfg.Elements = b.N
+			cfg.CommitEvery = 10
+			cfg.Keys = 100_000
+			cfg.Lanes = 4
+			cfg.Window = window
+			res, err := bench.RunIngest(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Aborts != 0 {
+				b.Fatalf("single-writer ingest aborted %d transactions", res.Aborts)
+			}
+			b.ReportMetric(res.ElemsPerSec, "elems/s")
+			if res.CommitBatches > 0 {
+				b.ReportMetric(float64(res.CommitTxns)/float64(res.CommitBatches), "txns/batch")
+			}
+		})
+	}
+}
+
+// BenchmarkPipeline measures the full shared-nothing pipeline end to
+// end — ingest lanes → table → partitioned feed → downstream lanes —
+// with the commit window fixed at 8 and the partition→lane wiring
+// toggled: fused=true wires feed partition i directly into downstream
+// lane i (no merge hop, no re-route); fused=false routes through the
+// explicit Merge → Parallelize seam the fusion removes. elems/s is
+// downstream elements delivered per wall-clock second.
+func BenchmarkPipeline(b *testing.B) {
+	for _, fused := range []bool{false, true} {
+		name := "unfused"
+		if fused {
+			name = "fused"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := bench.DefaultPipeline()
+			cfg.Ingest.Elements = b.N
+			cfg.Ingest.Keys = 100_000
+			cfg.Fuse = fused
+			res, err := bench.RunPipeline(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.DownElems != res.IngestElems {
+				b.Fatalf("pipeline delivered %d of %d committed writes", res.DownElems, res.IngestElems)
+			}
+			b.ReportMetric(res.ElemsPerSec, "elems/s")
+			b.ReportMetric(res.CommitFanIn(), "txns/batch")
+		})
+	}
+}
+
 // BenchmarkFeedPartitions measures the table→stream change feed
 // concurrent with its writer: the BenchmarkIngest query writing the
 // table while a feed delivers every committed change downstream, clock

@@ -11,13 +11,19 @@
 //	sibench -scaling                     # commit-path scaling: writers 1..16
 //	sibench -ingest                      # dataflow ingest rate (elems/s)
 //	sibench -ingest -lanes 4             # ... with 4 parallel keyed lanes
+//	sibench -ingest -lanes 4 -window 8   # ... with the fused commit spine
 //	sibench -ingest -json                # ... as one JSON object
 //	sibench -ingest -lanesweep -json     # lanes 1,2,4,8 as a JSON array
 //	sibench -feed                        # table→stream feed rate, sequential watcher
 //	sibench -feed -partitions 4          # ... through a 4-way partitioned feed
 //	sibench -feed -partsweep -json       # seq,1,2,4,8 partitions as a JSON array
-//	sibench -benchjson -backend mem      # lane sweep + feed sweep as one JSON
-//	                                     # object (regenerates BENCH_ingest.json)
+//	sibench -pipeline                    # end-to-end: ingest lanes → table →
+//	                                     # feed partitions → downstream lanes
+//	sibench -pipeline -fuse=false        # ... through the unfused merge seam
+//	sibench -pipeline -pipesweep -json   # fused/unfused × window 1,8 as JSON
+//	sibench -benchjson -backend mem      # lane sweep + feed sweep + pipeline
+//	                                     # sweep as one JSON object
+//	                                     # (regenerates BENCH_ingest.json)
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
@@ -46,11 +52,15 @@ func main() {
 		every     = flag.Int("commitevery", 100, "ingest: tuples per transaction (punctuation interval)")
 		keys      = flag.Int("keys", 100_000, "ingest: distinct keys cycled through")
 		lanes     = flag.Int("lanes", 1, "ingest: parallel keyed lanes (1 = sequential spine)")
+		window    = flag.Int("window", 1, "ingest/pipeline: cross-transaction commit window (1 = serialized spine)")
 		laneSweep = flag.Bool("lanesweep", false, "ingest: sweep lanes 1,2,4,8 (JSON: array of results)")
 		feed      = flag.Bool("feed", false, "run the table→stream change-feed benchmark")
-		parts     = flag.Int("partitions", 0, "feed: partitioned-feed watchers (0 = sequential ToStream)")
+		parts     = flag.Int("partitions", 0, "feed: partitioned-feed watchers (0 = sequential ToStream); pipeline: feed partitions = downstream lanes")
 		partSweep = flag.Bool("partsweep", false, "feed: sweep sequential + partitions 1,2,4,8")
-		benchJSON = flag.Bool("benchjson", false, "run the ingest lane sweep and the feed partition sweep, emit the BENCH_ingest.json object")
+		pipeline  = flag.Bool("pipeline", false, "run the end-to-end pipeline benchmark (ingest lanes → table → feed → downstream lanes)")
+		fuse      = flag.Bool("fuse", true, "pipeline: direct partition→lane wiring (false = unfused merge → re-route seam)")
+		pipeSweep = flag.Bool("pipesweep", false, "pipeline: sweep fused/unfused × window 1,8 (honors -commitevery/-lanes; partitions = lanes)")
+		benchJSON = flag.Bool("benchjson", false, "run the ingest lane sweep, the feed partition sweep and the pipeline sweep, emit the BENCH_ingest.json object")
 		jsonOut   = flag.Bool("json", false, "ingest/feed: JSON output")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
 		backend   = flag.String("backend", "lsm", "mem | lsm")
@@ -108,6 +118,7 @@ func main() {
 	icfg.Keys = *keys
 	icfg.Sync = *sync
 	icfg.Lanes = *lanes
+	icfg.Window = *window
 
 	// Sweeps over the lsm backend give every cell a FRESH directory —
 	// re-opening a shared one would replay earlier cells' data into the
@@ -118,6 +129,8 @@ func main() {
 	switch {
 	case *benchJSON:
 		runBenchJSON(icfg, freshDir)
+	case *pipeline:
+		runPipeline(icfg, *parts, *fuse, *pipeSweep, *jsonOut, freshDir)
 	case *feed:
 		runFeed(icfg, *parts, *partSweep, *jsonOut, freshDir)
 	case *ingest:
@@ -214,6 +227,65 @@ func feedPartSweep(icfg bench.IngestConfig, print bool, freshDir func() string) 
 	return results
 }
 
+// pipelineSweep runs the end-to-end pipeline benchmark across the fused
+// spine's two toggles — direct partition→lane wiring on/off × commit
+// window 1/8. Only the swept dimensions are overridden: protocol,
+// backend, elements, commit interval and lane count come from icfg (the
+// user's flags), with feed partitions = downstream lanes = the ingest
+// lane count (the matched shape direct wiring needs). The pipeline half
+// of BENCH_ingest.json, shared by -pipesweep and -benchjson (the latter
+// pins the canonical small-transaction configuration itself). freshDir
+// supplies a new data directory per lsm cell.
+func pipelineSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.PipelineResult {
+	parts := max(icfg.Lanes, 1)
+	var results []bench.PipelineResult
+	for _, w := range []int{1, 8} {
+		for _, fused := range []bool{false, true} {
+			icfg.Window = w
+			if icfg.Backend == "lsm" {
+				icfg.Dir = freshDir()
+			}
+			res, err := bench.RunPipeline(bench.PipelineConfig{Ingest: icfg, Partitions: parts, Fuse: fused})
+			if err != nil {
+				fatal(err)
+			}
+			results = append(results, res)
+			if print {
+				bench.PrintPipeline(os.Stdout, res)
+			}
+		}
+	}
+	return results
+}
+
+// runPipeline runs the end-to-end pipeline benchmark: one cell (with the
+// caller's lanes/window/partitions/fuse), or the standard sweep.
+func runPipeline(icfg bench.IngestConfig, partitions int, fused, sweep, jsonOut bool, freshDir func() string) {
+	if sweep {
+		results := pipelineSweep(icfg, !jsonOut, freshDir)
+		if jsonOut {
+			if err := bench.WritePipelineJSON(os.Stdout, results); err != nil {
+				fatal(err)
+			}
+		}
+		return
+	}
+	if partitions < 1 {
+		partitions = max(icfg.Lanes, 1)
+	}
+	res, err := bench.RunPipeline(bench.PipelineConfig{Ingest: icfg, Partitions: partitions, Fuse: fused})
+	if err != nil {
+		fatal(err)
+	}
+	if jsonOut {
+		if err := bench.WritePipelineJSON(os.Stdout, []bench.PipelineResult{res}); err != nil {
+			fatal(err)
+		}
+	} else {
+		bench.PrintPipeline(os.Stdout, res)
+	}
+}
+
 // runFeed runs the table→stream change-feed benchmark: one cell, or the
 // partition sweep.
 func runFeed(icfg bench.IngestConfig, partitions int, sweep, jsonOut bool, freshDir func() string) {
@@ -240,19 +312,32 @@ func runFeed(icfg bench.IngestConfig, partitions int, sweep, jsonOut bool, fresh
 }
 
 // runBenchJSON regenerates the checked-in BENCH_ingest.json: the ingest
-// lane sweep and the feed partition sweep as one JSON object with keys
-// "Ingest" and "Feed". The checked-in file is produced with
-// `sibench -benchjson -backend mem`.
+// lane sweep, the feed partition sweep and the end-to-end pipeline sweep
+// (fused/unfused × commit window 1/8) as one JSON object with keys
+// "Ingest", "Feed" and "Pipeline". The checked-in file is produced with
+// `sibench -benchjson -backend mem`. Ingest and Feed run on the chosen
+// backend; the Pipeline sweep ALWAYS runs on the lsm backend with
+// synchronous commits — cross-transaction commit batching amortizes the
+// per-commit fsync, and a memory backend has no fsync to amortize, so a
+// mem-backed sweep would (correctly but uninformatively) show fan-in 1.
 func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
 	ingests := ingestLaneSweep(icfg, false, freshDir)
 	icfg.Lanes = 1
 	feeds := feedPartSweep(icfg, false, freshDir)
+	// The canonical pipeline configuration of the checked-in file: the
+	// small-transaction workload cross-transaction batching targets.
+	icfg.Backend = "lsm"
+	icfg.Sync = true
+	icfg.CommitEvery = 8
+	icfg.Lanes = 4
+	pipelines := pipelineSweep(icfg, false, freshDir)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(struct {
-		Ingest []bench.IngestResult
-		Feed   []bench.FeedResult
-	}{ingests, feeds}); err != nil {
+		Ingest   []bench.IngestResult
+		Feed     []bench.FeedResult
+		Pipeline []bench.PipelineResult
+	}{ingests, feeds, pipelines}); err != nil {
 		fatal(err)
 	}
 }

@@ -44,6 +44,16 @@
 //     → table → feed partitions → downstream lanes — is shared-nothing
 //     per key from source to sink. See DESIGN.md "Parallel keyed ingest
 //     lanes" and "Partitioned change feed".
+//   - The commit spine batches ACROSS transactions: TransactionsWindow
+//     keeps a bounded window of one query's small transactions in
+//     flight on a commit chain (serial-order semantics preserved:
+//     chain-internal conflicts are exempt, foreign conflicts still
+//     abort), and the lane barrier's commit spine (MergeBatched) submits
+//     consecutive decided transactions to the group-commit pipeline as
+//     ONE batch — one leader tenure, one fsync, one LastCTS publish for
+//     the run. Reparallelize fuses a feed region directly into a
+//     downstream parallel region (partition i → lane i) when the
+//     partitioning matches. See DESIGN.md "Fused commit spine".
 //
 // Group.CommitStats reports the pipeline's achieved batching;
 // cmd/sibench -scaling sweeps it against writer concurrency.

@@ -114,6 +114,59 @@ func TestSIReadersDontAbort(t *testing.T) {
 	}
 }
 
+// TestRunIngestWindowed: the fused-spine ingest cell must commit every
+// transaction, deliver every write, and achieve cross-transaction
+// fan-in > 1 on a small-transaction workload (the serialized spine can
+// never batch a single query's commits).
+func TestRunIngestWindowed(t *testing.T) {
+	cfg := DefaultIngest()
+	cfg.Elements = 20_000
+	cfg.CommitEvery = 5
+	cfg.Keys = 1000
+	cfg.Lanes = 2
+	cfg.Window = 8
+	res, err := RunIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborts != 0 {
+		t.Fatalf("windowed ingest aborted %d transactions", res.Aborts)
+	}
+	if res.Writes != int64(cfg.Elements) {
+		t.Fatalf("writes=%d want %d", res.Writes, cfg.Elements)
+	}
+	wantCommits := int64((cfg.Elements + cfg.CommitEvery - 1) / cfg.CommitEvery)
+	if res.Commits != wantCommits {
+		t.Fatalf("commits=%d want %d", res.Commits, wantCommits)
+	}
+	if res.CommitBatches >= res.CommitTxns {
+		t.Fatalf("no cross-transaction batching: %d txns in %d batches", res.CommitTxns, res.CommitBatches)
+	}
+}
+
+// TestRunPipelineBothWirings: the end-to-end pipeline cell must deliver
+// every committed change downstream under both the fused and the
+// unfused wiring.
+func TestRunPipelineBothWirings(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		cfg := DefaultPipeline()
+		cfg.Ingest.Elements = 10_000
+		cfg.Ingest.Keys = 1000
+		cfg.Fuse = fused
+		res, err := RunPipeline(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.DownElems != res.IngestElems {
+			t.Fatalf("fuse=%t: pipeline delivered %d of %d committed writes", fused, res.DownElems, res.IngestElems)
+		}
+		wantCommits := int64((cfg.Ingest.Elements + cfg.Ingest.CommitEvery - 1) / cfg.Ingest.CommitEvery)
+		if res.DownCommits != wantCommits {
+			t.Fatalf("fuse=%t: downstream commits=%d want %d", fused, res.DownCommits, wantCommits)
+		}
+	}
+}
+
 func TestKeyString(t *testing.T) {
 	if got := keyString(7, 4); got != "0007" {
 		t.Fatalf("keyString(7,4) = %q", got)

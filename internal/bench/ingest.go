@@ -42,6 +42,15 @@ type IngestConfig struct {
 	// at a transaction-preserving merge barrier. 0 or 1 selects the
 	// sequential single-writer spine.
 	Lanes int
+	// Window enables the fused commit spine: up to Window consecutive
+	// transactions of the query run concurrently
+	// (stream.TransactionsWindow) and the barrier's commit spine submits
+	// lane-complete ones to the group-commit pipeline in cross-transaction
+	// batches of up to Window (stream.ParallelRegion.MergeBatched) — one
+	// leader tenure, one coalesced store batch + fsync for several small
+	// transactions. 0 or 1 selects the serialized spine (one commit per
+	// transaction).
+	Window int
 }
 
 // DefaultIngest returns a quick single-writer in-memory configuration.
@@ -77,6 +86,9 @@ func (c *IngestConfig) validate() error {
 	}
 	if c.Lanes < 0 {
 		return fmt.Errorf("bench: negative lane count")
+	}
+	if c.Window < 0 {
+		return fmt.Errorf("bench: negative commit window")
 	}
 	if c.KeyBytes < 1 {
 		c.KeyBytes = 8
@@ -162,13 +174,29 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		}
 		return nil
 	})
-	s := src.Punctuate(cfg.CommitEvery).Transactions(p)
+	window := cfg.Window
+	if window < 1 {
+		window = 1
+	}
+	s := src.Punctuate(cfg.CommitEvery).TransactionsWindow(p, window)
 	var stats *stream.ToTableStats
-	if cfg.Lanes > 1 {
+	switch {
+	case window > 1:
+		// The fused commit spine needs the region barrier even at one
+		// lane: the spine worker is what batches consecutive decided
+		// transactions into one group-commit submission.
+		lanes := cfg.Lanes
+		if lanes < 1 {
+			lanes = 1
+		}
+		region := s.Parallelize(lanes, nil)
+		stats = region.ToTable(p, tbl)
+		region.MergeBatched("merge", window).Discard()
+	case cfg.Lanes > 1:
 		region := s.Parallelize(cfg.Lanes, nil)
 		stats = region.ToTable(p, tbl)
 		region.Merge("merge").Discard()
-	} else {
+	default:
 		s, stats = s.ToTable(p, tbl)
 		s.Discard()
 	}
@@ -213,8 +241,12 @@ func PrintIngest(w io.Writer, r IngestResult) {
 	if lanes < 1 {
 		lanes = 1
 	}
-	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t lanes=%d\n",
-		c.Protocol, c.Backend, c.Elements, c.CommitEvery, c.Keys, c.Sync, lanes)
+	window := c.Window
+	if window < 1 {
+		window = 1
+	}
+	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t lanes=%d window=%d\n",
+		c.Protocol, c.Backend, c.Elements, c.CommitEvery, c.Keys, c.Sync, lanes, window)
 	fmt.Fprintf(w, "  throughput %12.0f elems/s  (%d writes in %v)\n", r.ElemsPerSec, r.Writes, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  txns       commits=%d aborts=%d\n", r.Commits, r.Aborts)
 	fanIn := 0.0

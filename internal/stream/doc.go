@@ -36,6 +36,14 @@
 // per-key order and per-transaction atomicity hold end to end with no
 // sequential stage between a source and a downstream sink.
 //
+// The commit spine fuses too: TransactionsWindow runs a bounded window
+// of a query's transactions concurrently, ParallelRegion.MergeBatched
+// submits consecutive lane-complete transactions to the group-commit
+// pipeline as one cross-transaction batch (one fsync for N small
+// transactions), and ParallelRegion.Reparallelize wires a feed region's
+// partitions directly into a downstream region's lanes when the
+// partitioning matches — no merge hop, one spanning barrier.
+//
 // See DESIGN.md for the architecture narrative and the ordering /
 // atomicity contracts each construct pins down.
 package stream

@@ -51,34 +51,38 @@ import (
 // still delivered, then the lanes close. Punctuation-only transactions
 // (commits not writing tbl) do not appear on the feed, matching ToStream.
 //
-// Caveat, shared with ToStream: the feed reads historical snapshots but
-// holds no transaction, so its backlog does not pin the GC horizon. A
-// feed lagging behind an aggressively collected table
-// (TableOptions.GCEveryCommits, or a hot key's version array turning
-// over) can find a commit's version already reclaimed and report the
-// oldest surviving state of the row instead. Keep GC thresholds above
-// the feed's worst-case lag; ROADMAP.md tracks pinning the feed's
-// oldest undelivered commit into the horizon.
+// Unlike ToStream, the partitioned feed participates in garbage
+// collection: every undelivered commit is pinned into the context's GC
+// horizon (txn.PartitionedFeed), and each partition acknowledges a commit
+// only after emitting its rows — read at the commit's snapshot — so an
+// aggressively collected table (TableOptions.GCEveryCommits, a hot key's
+// version array turning over) can never reclaim a version a lagging
+// partition still needs. A stalled consumer therefore pins the horizon
+// until it resumes or the feed is stopped and drained.
 func FromTablePartitioned(t *Topology, tbl *txn.Table, parts int, keyFn func(string) uint64) (*ParallelRegion, func()) {
-	feeds, stop, err := tbl.WatchPartitioned(parts, 0, keyFn)
+	feed, err := tbl.WatchPartitioned(parts, 0, keyFn)
 	if err != nil {
 		panic(fmt.Sprintf("stream: FromTablePartitioned: %v", err))
 	}
-	r := &ParallelRegion{t: t}
+	r := &ParallelRegion{t: t, defaultKeyed: keyFn == nil || parts == 1}
 	r.lanes = make([]*Stream, parts)
 	for i := range r.lanes {
 		lane := t.newStream()
 		r.lanes[i] = lane
-		feed := feeds[i]
+		part := i
+		events := feed.Partitions()[i]
 		t.spawn(fmt.Sprintf("from_table/%s/p%d", tbl.ID(), i), func() {
 			defer close(lane.ch)
 			<-t.start
-			for ev := range feed {
+			for ev := range events {
 				emitFeedCommit(lane, tbl, ev)
+				// The rows are read (and copied) — release the GC pin for
+				// this partition's share of the commit.
+				feed.Ack(part)
 			}
 		})
 	}
-	return r, stop
+	return r, feed.Stop
 }
 
 // emitFeedCommit ships one commit's changes on a feed lane as an in-band

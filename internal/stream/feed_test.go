@@ -49,9 +49,11 @@ func feedEnv(t *testing.T) (txn.Protocol, *txn.Table) {
 }
 
 // runScriptIngest pushes the script through source → Punctuate →
-// Transactions → (lanes) → TO_TABLE with the feed topology already
-// started, then stops the feed and waits for it to drain.
-func runScriptIngest(t *testing.T, p txn.Protocol, tbl *txn.Table, script []scriptItem, punctuateN, lanes int, feedTop *Topology, stopFeed func()) {
+// Transactions(Window) → (lanes) → TO_TABLE with the feed topology
+// already started, then stops the feed and waits for it to drain. With
+// window > 1 the ingest side runs the fused commit spine: windowed
+// transactions and a batching merge barrier (batch = window).
+func runScriptIngest(t *testing.T, p txn.Protocol, tbl *txn.Table, script []scriptItem, punctuateN, lanes, window int, feedTop *Topology, stopFeed func()) {
 	t.Helper()
 	top := New("ingest")
 	src := top.Source("script", func(emit func(Element)) error {
@@ -64,12 +66,17 @@ func runScriptIngest(t *testing.T, p txn.Protocol, tbl *txn.Table, script []scri
 		}
 		return nil
 	})
-	s := src.Punctuate(punctuateN).Transactions(p)
-	if lanes > 1 {
+	s := src.Punctuate(punctuateN).TransactionsWindow(p, window)
+	switch {
+	case window > 1:
+		region := s.Parallelize(lanes, nil)
+		region.ToTable(p, tbl)
+		region.MergeBatched("merge", window).Discard()
+	case lanes > 1:
 		region := s.Parallelize(lanes, nil)
 		region.ToTable(p, tbl)
 		region.Merge("merge").Discard()
-	} else {
+	default:
 		s, _ = s.ToTable(p, tbl)
 		s.Discard()
 	}
@@ -92,7 +99,7 @@ func sequentialFeedSigs(t *testing.T, script []scriptItem, punctuateN int) []com
 	feedTop := New("feed-seq")
 	out, stopFeed := ToStream(feedTop, tbl, p)
 	collected := out.Collect()
-	runScriptIngest(t, p, tbl, script, punctuateN, 1, feedTop, stopFeed)
+	runScriptIngest(t, p, tbl, script, punctuateN, 1, 1, feedTop, stopFeed)
 
 	var sigs []commitSig
 	var rows []string
@@ -117,16 +124,52 @@ func sequentialFeedSigs(t *testing.T, script []scriptItem, punctuateN int) []com
 	return sigs
 }
 
-// partitionedFeedSigs runs the script through lanes ingest lanes with a
-// parts-way partitioned feed merged back into one stream, returning the
-// observed commit signatures and validating the punctuation framing.
-func partitionedFeedSigs(t *testing.T, script []scriptItem, punctuateN, lanes, parts int) []commitSig {
+// feedWiring selects how the partitioned feed region is consumed:
+// merged directly (the PR-4 shape), fused lane-for-lane into a
+// downstream parallel region via Reparallelize (no merge hop, single
+// spanning barrier), or re-routed through an explicit Merge →
+// Parallelize seam (the unfused baseline the fusion removes).
+type feedWiring int
+
+const (
+	wireMerge feedWiring = iota
+	wireFused
+	wireRerouted
+)
+
+func (w feedWiring) String() string {
+	switch w {
+	case wireFused:
+		return "fused"
+	case wireRerouted:
+		return "rerouted"
+	default:
+		return "merge"
+	}
+}
+
+// partitionedFeedSigs runs the script through lanes ingest lanes (window
+// > 1 selecting the batching commit spine) with a parts-way partitioned
+// feed consumed through the given wiring and merged back into one
+// stream, returning the observed commit signatures and validating the
+// punctuation framing. The downstream region applies an identity Map per
+// lane so the fused wiring actually carries per-lane consumer chains.
+func partitionedFeedSigs(t *testing.T, script []scriptItem, punctuateN, lanes, parts, window int, wiring feedWiring) []commitSig {
 	t.Helper()
 	p, tbl := feedEnv(t)
 	feedTop := New("feed-part")
 	region, stopFeed := FromTablePartitioned(feedTop, tbl, parts, nil)
+	switch wiring {
+	case wireFused:
+		region = region.Reparallelize("repart", parts, nil)
+	case wireRerouted:
+		region = region.Merge("preMerge").Parallelize(parts, nil)
+	}
+	region = region.Apply(func(_ int, s *Stream) *Stream {
+		return s.Map("identity", func(tp Tuple) Tuple { return tp })
+	})
 	collected := region.Merge("feedmerge").Collect()
-	runScriptIngest(t, p, tbl, script, punctuateN, lanes, feedTop, stopFeed)
+	runScriptIngest(t, p, tbl, script, punctuateN, lanes, window, feedTop, stopFeed)
 
 	var sigs []commitSig
 	var rows []string
@@ -186,17 +229,63 @@ func TestPropertyFeedEquivalence(t *testing.T) {
 			script := genScript(rng)
 			punctuateN := 1 + rng.Intn(7)
 			want := sequentialFeedSigs(t, script, punctuateN)
+			check := func(label string, got []commitSig) {
+				t.Helper()
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d feed commits, want %d", label, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: commit %d diverged:\n got %+v\nwant %+v", label, i, got[i], want[i])
+					}
+				}
+			}
 			for _, lanes := range []int{1, 2, 4} {
 				for _, parts := range []int{1, 2, 4} {
-					got := partitionedFeedSigs(t, script, punctuateN, lanes, parts)
+					got := partitionedFeedSigs(t, script, punctuateN, lanes, parts, 1, wireMerge)
+					check(fmt.Sprintf("lanes=%d parts=%d", lanes, parts), got)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyFeedEquivalenceFusedSpine sweeps the FUSED end of the
+// pipeline against the same sequential reference: windowed ingest with
+// cross-transaction commit batching ({1,2,8}) feeding a partitioned feed
+// consumed either fused (direct partition→lane wiring, single spanning
+// barrier) or re-routed (explicit Merge → Parallelize seam). Every
+// combination must deliver the sequential TO_STREAM signatures exactly.
+func TestPropertyFeedEquivalenceFusedSpine(t *testing.T) {
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	for seed := int64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed + 7700))
+			script := genScript(rng)
+			punctuateN := 1 + rng.Intn(7)
+			want := sequentialFeedSigs(t, script, punctuateN)
+			for _, window := range []int{1, 2, 8} {
+				for _, wiring := range []feedWiring{wireFused, wireRerouted} {
+					got := partitionedFeedSigs(t, script, punctuateN, 4, 4, window, wiring)
+					label := fmt.Sprintf("window=%d wiring=%s", window, wiring)
 					if len(got) != len(want) {
-						t.Fatalf("lanes=%d parts=%d: %d feed commits, want %d",
-							lanes, parts, len(got), len(want))
+						t.Fatalf("%s: %d feed commits, want %d", label, len(got), len(want))
 					}
 					for i := range want {
-						if got[i] != want[i] {
-							t.Fatalf("lanes=%d parts=%d commit %d diverged:\n got %+v\nwant %+v",
-								lanes, parts, i, got[i], want[i])
+						// Absolute commit timestamps shift under a window
+						// (transaction N+1's Begin draws a timestamp before
+						// transaction N commits); what must match is the
+						// ordered per-commit row signature, with commit
+						// timestamps strictly ascending.
+						if got[i].rows != want[i].rows {
+							t.Fatalf("%s: commit %d rows diverged:\n got %+v\nwant %+v", label, i, got[i], want[i])
+						}
+						if i > 0 && got[i].cts <= got[i-1].cts {
+							t.Fatalf("%s: commit timestamps not ascending: %d then %d", label, got[i-1].cts, got[i].cts)
 						}
 					}
 				}
@@ -224,7 +313,7 @@ func TestFeedPartitionedPerKeyOrder(t *testing.T) {
 			val:  fmt.Sprintf("v%d", i),
 		})
 	}
-	runScriptIngest(t, p, tbl, script, commitEvery, 4, feedTop, stopFeed)
+	runScriptIngest(t, p, tbl, script, commitEvery, 4, 1, feedTop, stopFeed)
 
 	// Each commit writes each key at most once (write-set dedup keeps the
 	// last value); expected per-key sequence is the last write of the key

@@ -123,38 +123,73 @@ func (s *Stream) Punctuate(n int) *Stream {
 // Transactions runs as its own operator stage (not fused): its wait for
 // the previous transaction's decision must overlap with the downstream
 // operators processing that transaction, which requires a goroutine
-// boundary.
+// boundary. The query's transactions are strictly serialized — batch N+1
+// begins only after batch N is decided; TransactionsWindow relaxes this
+// to a bounded window for the fused commit spine.
 func (s *Stream) Transactions(p txn.Protocol, tables ...*txn.Table) *Stream {
+	return s.TransactionsWindow(p, 1, tables...)
+}
+
+// TransactionsWindow is Transactions with a bounded pipeline of undecided
+// transactions: up to window consecutive transactions of the query may be
+// in flight at once, the enabling half of the fused commit spine
+// (ParallelRegion.MergeBatched submits the lane-complete ones to the
+// group-commit pipeline as one batch). window == 1 is exactly
+// Transactions: batch N+1 begins only after batch N is decided.
+//
+// With window > 1 the transactions are attached to one txn.Chain, which
+// keeps the serial-order semantics honest while they overlap: a chain
+// successor's First-Committer-Wins check treats its predecessors' writes
+// as serial history (not conflicts), and S2PL's wait-die lets a successor
+// wait out a predecessor's locks. What a window does NOT preserve is read
+// visibility BETWEEN the windowed transactions: transaction N+1 pins its
+// snapshot before transaction N commits, so protocol reads inside the
+// window may observe the pre-window state. Use windows on blind-write
+// ingest spines (TO_TABLE pipelines); keep window == 1 for queries that
+// read the states they maintain.
+func (s *Stream) TransactionsWindow(p txn.Protocol, window int, tables ...*txn.Table) *Stream {
+	if window < 1 {
+		panic("stream: TransactionsWindow needs window >= 1")
+	}
 	out := s.t.newStream()
-	var cur, prev *txn.Txn
+	var cur *txn.Txn
+	var inflight []*txn.Txn
+	var chain *txn.Chain
+	if window > 1 {
+		chain = txn.NewChain()
+	}
 	ob := getBatch()
 	s.consume("transactions", func(b []Element) {
 		for _, e := range b {
 			switch e.Kind {
 			case KindBOT:
-				// Serialize the query's transactions: batch N+1 begins
-				// only after batch N is decided downstream. Without this,
-				// pipelined batches writing the same hot keys would be
-				// concurrent transactions and abort each other under the
-				// First-Committer-Wins rule (or self-deadlock under
-				// S2PL) even though the query has a single writer.
-				if prev != nil {
+				// Bound the query's undecided transactions: batch N+1
+				// begins only after batch N-window+1 is decided
+				// downstream. Without any bound, pipelined batches
+				// writing the same hot keys would be unboundedly many
+				// concurrent transactions; with the chain attached, the
+				// overlap within the window is conflict-exempt (see
+				// txn.Chain).
+				if len(inflight) >= window {
 					// Ship everything accumulated so far FIRST: the
-					// previous transaction's COMMIT must reach the
+					// awaited transaction's COMMIT must reach the
 					// downstream coordinator, or its decision — the very
 					// thing being awaited — could never happen.
 					if len(ob) > 0 {
 						out.ch <- ob
 						ob = getBatch()
 					}
-					<-prev.Done()
-					prev = nil
+					<-inflight[0].Done()
+					inflight = inflight[1:]
 				}
 				tx, err := p.Begin()
 				if err != nil {
 					s.t.fail("transactions", fmt.Errorf("begin: %w", err))
 					cur = nil
 					continue
+				}
+				if chain != nil {
+					tx.SetChain(chain)
 				}
 				if err := tx.Declare(tables...); err != nil {
 					s.t.fail("transactions", fmt.Errorf("declare: %w", err))
@@ -166,7 +201,9 @@ func (s *Stream) Transactions(p txn.Protocol, tables ...*txn.Table) *Stream {
 				e.Tx = cur
 			case KindCommit, KindRollback:
 				e.Tx = cur
-				prev = cur
+				if cur != nil {
+					inflight = append(inflight, cur)
+				}
 				cur = nil
 			default:
 				e.Tx = cur

@@ -3,6 +3,7 @@ package stream
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"sistream/internal/txn"
 )
@@ -30,6 +31,13 @@ import (
 //     the merged output stream carries each punctuation exactly once, at
 //     a position consistent with every data element of its transaction.
 //
+// Merge commits synchronously at the barrier; MergeBatched adds the fused
+// commit spine — the coordinator defers the commit work to a spine worker
+// that batches consecutive lane-complete transactions into ONE
+// group-commit submission (see commitSpine) — and Reparallelize wires a
+// region's lanes directly into a downstream region when the partitioning
+// matches, skipping the merge/re-route hop entirely.
+//
 // What is NOT preserved is the interleaving of data elements of one
 // transaction across different keys: lanes run concurrently, so the
 // merged stream orders them arbitrarily between two punctuations (the
@@ -47,16 +55,24 @@ func laneKey(t Tuple) uint64 {
 
 // ParallelRegion is a parallel section of a topology: P keyed lanes
 // between a Parallelize router and a Merge barrier. Build the per-lane
-// pipeline with Apply and ToTable, then close the region with Merge —
-// a region whose lanes are never merged does not run.
+// pipeline with Apply and ToTable, then close the region with Merge or
+// MergeBatched — or hand the lanes to a downstream region with
+// Reparallelize. A region whose lanes are never merged does not run.
 type ParallelRegion struct {
 	t     *Topology
 	lanes []*Stream
 	// actions run on the commit coordinator (the last lane to reach a
 	// punctuation barrier), in registration order, with every lane parked
-	// and every lane's segment flushed — see ToTable.
+	// and every lane's segment flushed — see ToTable. MergeBatched defers
+	// them to the commit spine, which requires every action to be a
+	// ToTable registration (regs mirrors them one to one).
 	actions []func(Element)
-	merged  bool
+	regs    []laneCommitReg
+	// defaultKeyed records that routing used the default key hash (or
+	// that the region has a single lane), which is what makes direct
+	// partition→lane fusion verifiable — see Reparallelize.
+	defaultKeyed bool
+	merged       bool
 }
 
 // Parallelize hash-routes the stream's data elements into p keyed lanes
@@ -69,7 +85,7 @@ func (s *Stream) Parallelize(p int, keyFn func(Tuple) uint64) *ParallelRegion {
 	if p < 1 {
 		panic("stream: Parallelize needs p >= 1")
 	}
-	r := &ParallelRegion{t: s.t}
+	r := &ParallelRegion{t: s.t, defaultKeyed: keyFn == nil || p == 1}
 	if p == 1 {
 		r.lanes = []*Stream{s}
 		return r
@@ -156,6 +172,40 @@ func (r *ParallelRegion) Apply(fn func(lane int, s *Stream) *Stream) *ParallelRe
 	return r
 }
 
+// Reparallelize is the region planner's seam between two parallel
+// sections: it re-partitions the region into p keyed lanes for a
+// downstream consumer chain. When the partitioning provably matches —
+// p equals the region's lane count and both sides use the DEFAULT key
+// hash (txn.DefaultKeyHash, which Parallelize and FromTablePartitioned
+// share) — partition i is wired directly into lane i: no Merge goroutine,
+// no re-hash, no channel hop; the two regions become one, with a single
+// barrier (the downstream Merge/MergeBatched) re-serializing punctuations
+// exactly once for the combined span. A single-lane region fuses with a
+// single-lane request regardless of hash (there is nothing to route).
+//
+// When the counts differ or a custom keyFn is involved, the region is
+// closed with a Merge barrier and re-routed through a fresh Parallelize —
+// correct, just not fused (two custom keyFns cannot be proven equal).
+// Either way the caller continues on the returned region and must close
+// it with Merge or MergeBatched.
+func (r *ParallelRegion) Reparallelize(name string, p int, keyFn func(Tuple) uint64) *ParallelRegion {
+	r.checkOpen("Reparallelize")
+	if p < 1 {
+		panic("stream: Reparallelize needs p >= 1")
+	}
+	if p == len(r.lanes) && keyFn == nil && r.defaultKeyed {
+		r.merged = true
+		return &ParallelRegion{
+			t:            r.t,
+			lanes:        r.lanes,
+			actions:      r.actions,
+			regs:         r.regs,
+			defaultKeyed: true,
+		}
+	}
+	return r.Merge(name).Parallelize(p, keyFn)
+}
+
 func (r *ParallelRegion) checkOpen(op string) {
 	if r.merged {
 		panic("stream: ParallelRegion." + op + " after Merge")
@@ -170,10 +220,13 @@ func (r *ParallelRegion) checkOpen(op string) {
 // region's stream can deliver a whole [BOT .. COMMIT BOT ..] run in one
 // batch, whose fused-stage flushes all execute before the collector's
 // barrier syncs; a BOT-time reset would then wipe a poison the same
-// batch's COMMIT still has to observe.
+// batch's COMMIT still has to observe. Several transactions may be
+// poisoned at once (a commit spine defers their handling past the
+// barrier), so the state is a set, cleared as each transaction's final
+// punctuation is handled.
 type laneTableCtl struct {
 	mu       sync.Mutex
-	poisoned *txn.Txn // transaction whose writes failed; nil when none
+	poisoned map[*txn.Txn]bool
 }
 
 // fail records a lane flush failure of tx. Only the FIRST failure of the
@@ -185,10 +238,13 @@ type laneTableCtl struct {
 func (c *laneTableCtl) fail(t *Topology, op string, stats *ToTableStats, tx *txn.Txn, err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.poisoned == tx {
+	if c.poisoned[tx] {
 		return
 	}
-	c.poisoned = tx
+	if c.poisoned == nil {
+		c.poisoned = make(map[*txn.Txn]bool)
+	}
+	c.poisoned[tx] = true
 	if txn.IsAbort(err) || err == txn.ErrFinished {
 		stats.Aborts.Add(1)
 	} else {
@@ -199,7 +255,26 @@ func (c *laneTableCtl) fail(t *Topology, op string, stats *ToTableStats, tx *txn
 func (c *laneTableCtl) isPoisoned(tx *txn.Txn) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.poisoned == tx
+	return c.poisoned[tx]
+}
+
+// clear drops tx's poison record once its final punctuation has been
+// handled (the transaction is finished; the handle is never seen again).
+func (c *laneTableCtl) clear(tx *txn.Txn) {
+	c.mu.Lock()
+	delete(c.poisoned, tx)
+	c.mu.Unlock()
+}
+
+// laneCommitReg is one ToTable's registration with the region's commit
+// machinery: the protocol and table it maintains, its live stats, and its
+// poisoning state. The barrier actions and the commit spine both work off
+// these.
+type laneCommitReg struct {
+	p     txn.Protocol
+	tbl   *txn.Table
+	stats *ToTableStats
+	ctl   *laneTableCtl
 }
 
 // ToTable adds a per-lane TO_TABLE write path to every lane of the
@@ -210,14 +285,15 @@ func (c *laneTableCtl) isPoisoned(tx *txn.Txn) bool {
 //     copies happen lane-locally, in parallel, with no shared latch).
 //   - At every punctuation the lane flushes its segment into the shared
 //     transaction — through the protocol's SegmentWriter fast path when
-//     available (SI and BOCC: ownership transfer, one latch acquisition),
-//     through Protocol.WriteBatch otherwise — BEFORE acknowledging the
-//     barrier,
-//     so the coordinator never commits a transaction with lane writes
-//     still buffered.
+//     available (SI, BOCC and S2PL all implement it: ownership transfer,
+//     one latch acquisition, with S2PL additionally acquiring its
+//     exclusive locks lane-side), through Protocol.WriteBatch otherwise —
+//     BEFORE acknowledging the barrier, so the coordinator never commits
+//     a transaction with lane writes still buffered.
 //   - The commit itself (CommitState on COMMIT, Abort on ROLLBACK, global
-//     abort of poisoned transactions) runs once, on the coordinator, at
-//     the Merge barrier; ToTable registers that action here.
+//     abort of poisoned transactions) runs once per transaction, at the
+//     region's closing barrier: synchronously on the coordinator under
+//     Merge, deferred to the batching commit spine under MergeBatched.
 //
 // Poisoning is flush-granular: a lane discovers a write failure when its
 // segment flushes at a boundary, not per element as the sequential
@@ -301,6 +377,8 @@ func (r *ParallelRegion) ToTable(p txn.Protocol, tbl *txn.Table) *ToTableStats {
 			flush(cur, true)
 		})
 	}
+	reg := laneCommitReg{p: p, tbl: tbl, stats: stats, ctl: ctl}
+	r.regs = append(r.regs, reg)
 	r.actions = append(r.actions, func(e Element) {
 		switch e.Kind {
 		case KindCommit:
@@ -313,6 +391,7 @@ func (r *ParallelRegion) ToTable(p txn.Protocol, tbl *txn.Table) *ToTableStats {
 				if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
 					r.t.fail(name, err)
 				}
+				ctl.clear(e.Tx)
 				return
 			}
 			if err := p.CommitState(e.Tx, tbl); err != nil {
@@ -333,6 +412,7 @@ func (r *ParallelRegion) ToTable(p txn.Protocol, tbl *txn.Table) *ToTableStats {
 			if err := p.Abort(e.Tx); err != nil && err != txn.ErrFinished {
 				r.t.fail(name, err)
 			}
+			ctl.clear(e.Tx)
 			stats.Aborts.Add(1)
 		}
 	})
@@ -343,9 +423,9 @@ func (r *ParallelRegion) ToTable(p txn.Protocol, tbl *txn.Table) *ToTableStats {
 // barrier over the region's lane collectors. Lanes forward data batches
 // to the merged output as they arrive; at a punctuation each lane parks,
 // and the LAST lane to arrive becomes the coordinator for that boundary —
-// it runs the region's registered actions (segment-backed commits), emits
-// the punctuation into the merged stream exactly once, and releases the
-// parked lanes.
+// it runs the region's commit work (onPunct: the registered actions under
+// Merge, a spine enqueue under MergeBatched), emits the punctuation into
+// the merged stream exactly once, and releases the parked lanes.
 type laneBarrier struct {
 	n   int
 	out *Stream
@@ -353,11 +433,13 @@ type laneBarrier struct {
 	mu      sync.Mutex
 	arrived int
 	resume  chan struct{}
-	actions []func(Element)
+	onPunct func(Element)
 }
 
 // sync is called by a lane collector holding a punctuation element. It
-// returns when the boundary is fully acknowledged and committed.
+// returns when the boundary is fully acknowledged and its commit work is
+// either done (Merge) or handed to the spine in boundary order
+// (MergeBatched).
 func (b *laneBarrier) sync(e Element) {
 	b.mu.Lock()
 	b.arrived++
@@ -370,8 +452,8 @@ func (b *laneBarrier) sync(e Element) {
 	// Coordinator: every lane has acknowledged the boundary (and, per
 	// ToTable's contract, flushed its segment before arriving here).
 	b.arrived = 0
-	for _, act := range b.actions {
-		act(e)
+	if b.onPunct != nil {
+		b.onPunct(e)
 	}
 	pb := getBatch()
 	pb = append(pb, e)
@@ -387,12 +469,60 @@ func (b *laneBarrier) sync(e Element) {
 // per-key element order preserved (cross-key order within a transaction
 // is arbitrary — lanes run concurrently). Merge must be called exactly
 // once per region; the region's commit actions (ToTable) run at its
-// barrier.
+// barrier, synchronously — the transaction is globally committed before
+// its COMMIT punctuation is emitted downstream.
 func (r *ParallelRegion) Merge(name string) *Stream {
+	actions := r.actions
+	return r.close(name, func(e Element) {
+		for _, act := range actions {
+			act(e)
+		}
+	}, nil)
+}
+
+// MergeBatched closes the region like Merge but defers the commit work to
+// the region's commit spine: the barrier coordinator hands each decided
+// transaction to a spine worker and releases the lanes immediately, so
+// the next transaction's data flows while the previous commits. The
+// worker batches up to maxBatch consecutive lane-complete transactions
+// into ONE group-commit submission (txn.ChainCommitter) — one leader
+// tenure, one coalesced store batch and fsync, one LastCTS publish for
+// the whole run; aborts (rollbacks, poisoned transactions) split the
+// batch and never poison their neighbors. Pair it with a
+// TransactionsWindow upstream (window ≈ maxBatch), or the serialized
+// Transactions operator will never let a second transaction queue behind
+// the first.
+//
+// The merged stream's framing is identical to Merge's — each punctuation
+// exactly once, in order — but a COMMIT punctuation may be emitted
+// downstream BEFORE its transaction is globally committed (durable and
+// visible); the transaction's Done channel still closes only at the real
+// commit. Every commit action of the region must come from ToTable, and
+// all ToTable calls must share one protocol.
+func (r *ParallelRegion) MergeBatched(name string, maxBatch int) *Stream {
+	if maxBatch < 1 {
+		panic("stream: MergeBatched needs maxBatch >= 1")
+	}
+	if len(r.regs) != len(r.actions) {
+		panic("stream: MergeBatched requires all region commit actions to come from ToTable")
+	}
+	for _, reg := range r.regs[1:] {
+		if reg.p != r.regs[0].p {
+			panic("stream: MergeBatched requires all region ToTable calls to share one protocol")
+		}
+	}
+	sp := newCommitSpine(r.t, name, r.regs, maxBatch)
+	return r.close(name, sp.enqueue, sp)
+}
+
+// close implements Merge/MergeBatched: lane collectors, the punctuation
+// barrier with the given coordinator hook, and (for the batched variant)
+// the spine worker whose queue is closed once every lane is done.
+func (r *ParallelRegion) close(name string, onPunct func(Element), sp *commitSpine) *Stream {
 	r.checkOpen("Merge")
 	r.merged = true
 	out := r.t.newStream()
-	b := &laneBarrier{n: len(r.lanes), out: out, resume: make(chan struct{}), actions: r.actions}
+	b := &laneBarrier{n: len(r.lanes), out: out, resume: make(chan struct{}), onPunct: onPunct}
 	var wg sync.WaitGroup
 	wg.Add(len(r.lanes))
 	for i, lane := range r.lanes {
@@ -426,6 +556,235 @@ func (r *ParallelRegion) Merge(name string) *Stream {
 	r.t.spawn(name+"/closer", func() {
 		wg.Wait()
 		close(out.ch)
+		if sp != nil {
+			close(sp.q)
+		}
 	})
+	if sp != nil {
+		r.t.spawn(name+"/spine", sp.run)
+	}
 	return out
+}
+
+// commitSpine is the deferred commit worker of a batched region barrier:
+// the coordinator enqueues each decided transaction (with its punctuation
+// kind) in boundary order and releases the lanes; the worker drains the
+// queue, groups maximal runs of consecutive clean COMMIT entries up to
+// maxBatch, and submits each run to the group-commit pipeline as ONE
+// cross-transaction batch through txn.ChainCommitter. Rollbacks and
+// poisoned transactions are handled singly, splitting the run exactly
+// where they sit — an abort never delays or poisons its neighbors beyond
+// that split. Protocols without ChainCommitter (e.g. test wrappers) fall
+// back to per-transaction CommitState in the same order.
+type commitSpine struct {
+	t        *Topology
+	name     string
+	regs     []laneCommitReg
+	tbls     []*txn.Table
+	cc       txn.ChainCommitter
+	maxBatch int
+	q        chan spineEntry
+}
+
+// spineEntry is one decided transaction awaiting its commit work.
+type spineEntry struct {
+	kind Kind
+	tx   *txn.Txn
+}
+
+func newCommitSpine(t *Topology, name string, regs []laneCommitReg, maxBatch int) *commitSpine {
+	sp := &commitSpine{t: t, name: name, regs: regs, maxBatch: maxBatch}
+	for _, reg := range regs {
+		sp.tbls = append(sp.tbls, reg.tbl)
+	}
+	if len(regs) > 0 {
+		sp.cc, _ = regs[0].p.(txn.ChainCommitter)
+	}
+	qcap := 2 * maxBatch
+	if qcap < chanBuf {
+		qcap = chanBuf
+	}
+	sp.q = make(chan spineEntry, qcap)
+	return sp
+}
+
+// enqueue hands one boundary's commit work to the worker, in boundary
+// order (called by the barrier coordinator; a full queue backpressures
+// the barrier, which is safe — the worker never waits on the barrier).
+func (sp *commitSpine) enqueue(e Element) {
+	if e.Kind != KindCommit && e.Kind != KindRollback {
+		return
+	}
+	if e.Tx == nil {
+		return
+	}
+	sp.q <- spineEntry{kind: e.Kind, tx: e.Tx}
+}
+
+// spineLinger bounds how long the spine collects further boundaries for
+// one batch once cross-transaction pressure is established — the same
+// fallback bound the group-commit leader uses for its own collection.
+const spineLinger = 200 * time.Microsecond
+
+// run drains the queue until it closes. Batch formation mirrors the
+// group-commit leader's adaptive policy: the previous batch's size
+// estimates how many boundaries the pipeline produces per commit
+// latency, and the worker collects up to that many (never beyond
+// maxBatch), parking on the queue with a linger-bounded timer. A
+// steady one-at-a-time stream (previous batch of one) never lingers and
+// never pays added latency; only once commits demonstrably lag boundary
+// production does the spine start holding out for larger batches.
+func (sp *commitSpine) run() {
+	pend := make([]spineEntry, 0, sp.maxBatch)
+	target := 1
+	for {
+		e, ok := <-sp.q
+		if !ok {
+			return
+		}
+		pend = append(pend[:0], e)
+		closed := false
+		if target > 1 {
+			timer := time.NewTimer(spineLinger)
+		collect:
+			for len(pend) < target {
+				select {
+				case e2, ok := <-sp.q:
+					if !ok {
+						closed = true
+						break collect
+					}
+					pend = append(pend, e2)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		// Opportunistically take whatever else is already queued.
+	drain:
+		for !closed && len(pend) < sp.maxBatch {
+			select {
+			case e2, ok := <-sp.q:
+				if !ok {
+					break drain
+				}
+				pend = append(pend, e2)
+			default:
+				break drain
+			}
+		}
+		target = len(pend)
+		if target > sp.maxBatch {
+			target = sp.maxBatch
+		}
+		sp.process(pend)
+		if closed {
+			// A closed receive means the queue is closed AND empty: every
+			// boundary is in pend and has been processed.
+			return
+		}
+	}
+}
+
+// process handles one drained slice of boundary entries in order.
+func (sp *commitSpine) process(entries []spineEntry) {
+	i := 0
+	for i < len(entries) {
+		e := entries[i]
+		if e.kind == KindCommit && !sp.anyPoisoned(e.tx) {
+			j := i
+			for j < len(entries) && entries[j].kind == KindCommit && !sp.anyPoisoned(entries[j].tx) {
+				j++
+			}
+			sp.commitRun(entries[i:j])
+			i = j
+			continue
+		}
+		sp.single(e)
+		i++
+	}
+}
+
+// anyPoisoned reports whether any lane write path gave up on tx. The
+// poisoning state is final once the transaction's boundary passed the
+// barrier (every lane flushed before acknowledging), so reading it at
+// spine time is race-free.
+func (sp *commitSpine) anyPoisoned(tx *txn.Txn) bool {
+	for _, reg := range sp.regs {
+		if reg.ctl.isPoisoned(tx) {
+			return true
+		}
+	}
+	return false
+}
+
+// commitRun commits a run of consecutive clean transactions — as one
+// chain batch when the protocol supports it, per-transaction otherwise.
+// Stats mirror the synchronous barrier actions exactly: per table, nil is
+// a commit, an abort-family error an abort, anything else a topology
+// failure.
+func (sp *commitSpine) commitRun(run []spineEntry) {
+	if sp.cc != nil && len(run) > 0 {
+		txs := make([]*txn.Txn, len(run))
+		for i := range run {
+			txs[i] = run[i].tx
+		}
+		errsPerTx := sp.cc.CommitChain(txs, sp.tbls)
+		for i := range errsPerTx {
+			for j, reg := range sp.regs {
+				sp.account(reg, errsPerTx[i][j])
+			}
+		}
+		return
+	}
+	for _, e := range run {
+		for _, reg := range sp.regs {
+			sp.account(reg, reg.p.CommitState(e.tx, reg.tbl))
+		}
+	}
+}
+
+// account books one table's commit verdict into its stats.
+func (sp *commitSpine) account(reg laneCommitReg, err error) {
+	switch {
+	case err == nil:
+		reg.stats.Commits.Add(1)
+	case txn.IsAbort(err) || err == txn.ErrFinished:
+		reg.stats.Aborts.Add(1)
+	default:
+		sp.t.fail(sp.name, err)
+	}
+}
+
+// single handles a rollback or a poisoned commit — the batch splitters —
+// with exactly the synchronous actions' semantics.
+func (sp *commitSpine) single(e spineEntry) {
+	switch e.kind {
+	case KindCommit:
+		for _, reg := range sp.regs {
+			if reg.ctl.isPoisoned(e.tx) {
+				// The abort was already counted at poisoning time.
+				if err := reg.p.Abort(e.tx); err != nil && err != txn.ErrFinished {
+					sp.t.fail(sp.name, err)
+				}
+				reg.ctl.clear(e.tx)
+				continue
+			}
+			sp.account(reg, reg.p.CommitState(e.tx, reg.tbl))
+		}
+	case KindRollback:
+		for _, reg := range sp.regs {
+			if err := reg.p.Abort(e.tx); err != nil && err != txn.ErrFinished {
+				sp.t.fail(sp.name, err)
+			}
+			reg.ctl.clear(e.tx)
+			reg.stats.Aborts.Add(1)
+		}
+	}
 }

@@ -40,8 +40,9 @@ func NewBOCC(ctx *Context) *BOCC {
 }
 
 var (
-	_ Protocol      = (*BOCC)(nil)
-	_ SegmentWriter = (*BOCC)(nil)
+	_ Protocol       = (*BOCC)(nil)
+	_ SegmentWriter  = (*BOCC)(nil)
+	_ ChainCommitter = (*BOCC)(nil)
 )
 
 // Name implements Protocol.
@@ -180,6 +181,103 @@ func (p *BOCC) finishCommit(tx *Txn) error {
 
 // Abort implements Protocol.
 func (p *BOCC) Abort(tx *Txn) error { return p.abort(tx) }
+
+// chainRecord is one chain member's write set collected at admission,
+// used for chain-internal backward validation and for post-install
+// registration.
+type chainRecord struct {
+	tx     *Txn
+	writes map[StateID]map[string]struct{}
+}
+
+// CommitChain implements ChainCommitter. The whole chain window runs
+// inside ONE validation critical section (Härder's scheme extends
+// naturally: validation and write phase of the batch form one critical
+// section). Each member is validated backward against the committed
+// history AND against the write sets of its chain predecessors admitted
+// in the same call — a member that read what its predecessor wrote reads
+// a pre-window value and must abort, exactly as it would have had the
+// predecessor's commit been registered before its validation. Survivors
+// install through one pipeline submission per consecutive same-group run
+// and register with post-install timestamps, in chain order.
+func (p *BOCC) CommitChain(txs []*Txn, tbls []*Table) [][]error {
+	r := &p.ctx.recent
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	var admitted []chainRecord
+	errs := p.commitChain(txs, tbls, func(tx *Txn) func(*commitOverlay) error {
+		return func(*commitOverlay) error {
+			// Admissions of this chain are serialized (run by run, request
+			// by request under the group latch), so admitted needs no
+			// extra synchronization; cross-goroutine visibility rides the
+			// pipeline's ready-channel edges.
+			if err := r.validateLocked(tx); err != nil {
+				return err
+			}
+			for i := range admitted {
+				if err := conflicts(tx, admitted[i].writes); err != nil {
+					return err
+				}
+			}
+			// Collect the write set now: the install phase consumes the
+			// entries before this call returns to the submitter.
+			writes := make(map[StateID]map[string]struct{}, len(tx.states))
+			for id, e := range tx.states {
+				if len(e.order) == 0 {
+					continue
+				}
+				ks := make(map[string]struct{}, len(e.order))
+				for _, k := range e.order {
+					ks[k] = struct{}{}
+				}
+				writes[id] = ks
+			}
+			admitted = append(admitted, chainRecord{tx: tx, writes: writes})
+			return nil
+		}
+	}, nil)
+
+	// Register the survivors' write sets with post-install timestamps so
+	// every contemporary that could have observed a torn prefix validates
+	// against them.
+	failed := make(map[*Txn]bool)
+	for i := range errs {
+		for _, err := range errs[i] {
+			if err != nil {
+				failed[txs[i]] = true
+			}
+		}
+	}
+	for i := range admitted {
+		rec := &admitted[i]
+		if failed[rec.tx] || len(rec.writes) == 0 {
+			continue
+		}
+		r.registerLocked(p.ctx.next(), rec.writes)
+		if r.commits%64 == 0 {
+			r.prune(p.ctx.oldestActiveStart())
+		}
+	}
+	return errs
+}
+
+// conflicts reports a backward-validation failure of tx's read set
+// against one write set.
+func conflicts(tx *Txn, writes map[StateID]map[string]struct{}) error {
+	for st, keys := range tx.reads {
+		wr, ok := writes[st]
+		if !ok {
+			continue
+		}
+		for k := range keys {
+			if _, hit := wr[k]; hit {
+				return fmt.Errorf("%w: state %q key %q written by a chain predecessor", ErrValidation, st, k)
+			}
+		}
+	}
+	return nil
+}
 
 // commitRecord remembers one committed transaction's write set for
 // backward validation of its contemporaries.

@@ -243,6 +243,165 @@ func commitAll(tx *Txn, finishFn func() error) error {
 	return finishFn()
 }
 
+// flagState flips tx's commit flag for tbl without running the global
+// commit, reporting whether this flip completed the transaction's flag set
+// (the caller became the coordinator). It is commitState with the
+// finishFn decoupled — the chain commit path flags several transactions
+// before performing their global commits as one batch.
+func flagState(tx *Txn, tbl *Table) (coordinator bool, err error) {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.finished.Load() {
+		return false, ErrFinished
+	}
+	e, ok := tx.states[tbl.id]
+	if !ok {
+		e = tx.entry(tbl)
+	}
+	if e.status == StatusAbort {
+		return false, ErrAborted
+	}
+	e.status = StatusCommit
+	for _, other := range tx.states {
+		if other.status != StatusCommit {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// commitChain is the shared implementation of ChainCommitter (see
+// chain.go): flag tbls on every transaction in order, then globally
+// commit the transactions whose flag set completed, submitting maximal
+// consecutive runs that commit into the SAME single topology group as one
+// multi-request pipeline submission (groupCommitMany) — one leader tenure
+// and one coalesced durability batch for the whole run. Transactions
+// spanning groups, or with nothing written, break the run and commit
+// individually, preserving chain order (and thus ascending commit
+// timestamps per key) throughout. admitFor supplies the protocol's
+// admission check per transaction (nil for none); after, when non-nil,
+// runs once per coordinated transaction after its commit attempt (S2PL
+// releases its locks there).
+func (p *protocolBase) commitChain(txs []*Txn, tbls []*Table, admitFor func(*Txn) func(*commitOverlay) error, after func(*Txn)) [][]error {
+	errs := make([][]error, len(txs))
+	type coord struct {
+		tx     *Txn
+		txIdx  int
+		tblIdx int
+	}
+	var coords []coord
+	for i, tx := range txs {
+		errs[i] = make([]error, len(tbls))
+		for j, tbl := range tbls {
+			if err := requireGroup(tbl); err != nil {
+				errs[i][j] = err
+				continue
+			}
+			became, err := flagState(tx, tbl)
+			errs[i][j] = err
+			if became {
+				coords = append(coords, coord{tx: tx, txIdx: i, tblIdx: j})
+			}
+		}
+	}
+
+	// Global commits, in chain order. runReqs accumulates the current
+	// same-group run; flush submits it as one pipeline unit, records the
+	// verdicts and runs the per-transaction epilogue for exactly that run
+	// — so S2PL locks fall as soon as their run is installed and visible,
+	// never held across a later run's durability.
+	var (
+		runReqs   []*commitReq
+		runCoords []coord
+		runGroup  *Group
+	)
+	flush := func() {
+		if len(runReqs) == 0 {
+			return
+		}
+		p.groupCommitMany(runGroup, runReqs)
+		for i, c := range runCoords {
+			errs[c.txIdx][c.tblIdx] = runReqs[i].err
+			if after != nil {
+				after(c.tx)
+			}
+		}
+		runReqs, runCoords, runGroup = nil, nil, nil
+	}
+	for _, c := range coords {
+		admit := func(*commitOverlay) error { return nil }
+		if admitFor != nil {
+			if a := admitFor(c.tx); a != nil {
+				admit = a
+			}
+		}
+		groups := txGroups(c.tx)
+		switch len(groups) {
+		case 0:
+			// Nothing written: finish inline (no timestamp consumed, so
+			// order relative to the run is immaterial).
+			p.finish(c.tx)
+			recycleTxn(c.tx, false)
+			if after != nil {
+				after(c.tx)
+			}
+		case 1:
+			g := groups[0]
+			if runGroup != nil && g != runGroup {
+				flush()
+			}
+			runGroup = g
+			runReqs = append(runReqs, &commitReq{tx: c.tx, admit: admit, ready: make(chan struct{})})
+			runCoords = append(runCoords, c)
+		default:
+			flush()
+			errs[c.txIdx][c.tblIdx] = p.multiGroupCommit(groups, c.tx, admit)
+			if after != nil {
+				after(c.tx)
+			}
+		}
+	}
+	flush()
+	return errs
+}
+
+// groupCommitMany submits several already-ordered commit requests of one
+// chain to g's pipeline as a unit: all requests enter the queue in a
+// single append, so one leader tenure drains them together (the whole
+// point of cross-transaction batching — one coalesced store batch and one
+// fsync for the run). The caller then leads or parks exactly as a single
+// committer does in groupCommit, handling the leadership baton on any of
+// its requests.
+func (p *protocolBase) groupCommitMany(g *Group, reqs []*commitReq) {
+	g.qmu.Lock()
+	g.pending = append(g.pending, reqs...)
+	lead := !g.leaderActive
+	if lead {
+		g.leaderActive = true
+	}
+	g.qmu.Unlock()
+	if lead {
+		p.leadGroup(g)
+	} else {
+		select {
+		case g.wake <- struct{}{}:
+		default:
+		}
+	}
+	for _, req := range reqs {
+		<-req.ready
+		if req.promoted {
+			// Retiring leader handed us the baton with this request (and
+			// therefore every later one of ours) still pending: lead the
+			// batch containing it; leaderCommit decides it synchronously.
+			req.promoted = false
+			req.ready = make(chan struct{})
+			p.leadGroup(g)
+			<-req.ready
+		}
+	}
+}
+
 // finish releases the transaction's slot exactly once.
 func (p *protocolBase) finish(tx *Txn) {
 	tx.mu.Lock()
@@ -545,6 +704,12 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 		}
 		req.cts = base + uint64(i) + 1
 		req.entries = sortedEntries(req.tx)
+		if ch := req.tx.chain; ch != nil {
+			// Raise the chain's committed floor BEFORE later requests are
+			// admitted: a chain successor in this very batch must see its
+			// predecessor's writes as serial history, not as a conflict.
+			ch.raise(req.cts)
+		}
 		if i+1 < len(batch) {
 			// Later requests in this batch must see these writes in
 			// their admission check; the final request has no successors,
@@ -703,6 +868,9 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 	horizon := p.ctx.OldestActiveVersion()
 
 	cts := p.ctx.next()
+	if ch := tx.chain; ch != nil {
+		ch.raise(cts)
+	}
 
 	// Durability precedes the in-memory install so a failed store leaves
 	// no memory state behind: the transaction aborts as if it never

@@ -65,6 +65,12 @@ type Context struct {
 	slotWords [maxActiveTxns / 64]atomic.Uint64
 	slots     [maxActiveTxns]atomic.Pointer[Txn]
 
+	// feedPins are the partitioned change feeds' GC-horizon contributors
+	// (see feed.go): a copy-on-write slice so the horizon scan reads it
+	// without locking. Registration is append-only — a stopped, drained
+	// feed's pin holds nothing and costs one atomic load per scan.
+	feedPins atomic.Pointer[[]*feedPin]
+
 	// recent is the BOCC history of committed write sets (see bocc.go).
 	recent recentCommits
 }
@@ -131,9 +137,11 @@ func (c *Context) unregister(t *Txn) {
 }
 
 // OldestActiveVersion returns the garbage-collection horizon: the minimum
-// snapshot any active transaction may still read. Versions whose deletion
-// timestamp is at or below it are invisible to everyone and reclaimable.
-// With no active readers the horizon is the current clock.
+// snapshot any active transaction — or any partitioned change feed with
+// undelivered commits (see feed.go) — may still read. Versions whose
+// deletion timestamp is at or below it are invisible to everyone and
+// reclaimable. With no active readers and no feed backlog the horizon is
+// the current clock.
 func (c *Context) OldestActiveVersion() Timestamp {
 	oldest := c.counter.Load()
 	for w := range c.slotWords {
@@ -149,7 +157,27 @@ func (c *Context) OldestActiveVersion() Timestamp {
 			}
 		}
 	}
+	if pins := c.feedPins.Load(); pins != nil {
+		for _, fp := range *pins {
+			if o := fp.oldest.Load(); o != 0 && o < oldest {
+				oldest = o
+			}
+		}
+	}
 	return oldest
+}
+
+// addFeedPin registers a partitioned feed's GC-horizon contributor
+// (copy-on-write under setupMu; the scan side is lock-free).
+func (c *Context) addFeedPin(p *feedPin) {
+	c.setupMu.Lock()
+	defer c.setupMu.Unlock()
+	var next []*feedPin
+	if cur := c.feedPins.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, p)
+	c.feedPins.Store(&next)
 }
 
 // ActiveCount returns the number of registered transactions (diagnostic).

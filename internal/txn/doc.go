@@ -22,17 +22,22 @@
 //	bocc.go         backward-oriented optimistic validation
 //	segment.go      per-lane write-set segments for parallel ingest
 //	feed.go         partitioned change-feed fan-out (WatchPartitioned)
-//	lockmgr.go      the S2PL lock table
+//	                and the feed's GC-horizon pin
+//	chain.go        cross-transaction commit chains (the fused spine)
+//	lockmgr.go      the S2PL lock table (chain-aware wait-die)
 //
 // # Scaling machinery
 //
-// Three mechanisms lift the paper's single-latch design to multi-core
+// Four mechanisms lift the paper's single-latch design to multi-core
 // scale without changing its semantics: the registry and each table's
 // key dictionary are striped over 64 latch shards; commits of one group
 // flow through an adaptive leader/follower group-commit pipeline (one
-// coalesced durability batch and one LastCTS publish per batch); and
+// coalesced durability batch and one LastCTS publish per batch);
 // parallel stream queries move per-tuple work off the shared transaction
 // latch with Segments on the write side and WatchPartitioned fan-out on
-// the change-feed side. DESIGN.md walks through each with its
-// correctness invariants.
+// the change-feed side; and a windowed query's consecutive small
+// transactions commit through one pipeline batch via commit chains
+// (ChainCommitter), raising fan-in without giving up serial-order
+// semantics. DESIGN.md walks through each with its correctness
+// invariants.
 package txn

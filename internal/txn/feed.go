@@ -10,10 +10,20 @@ package txn
 // per-partition event channels, each drained by an independent consumer,
 // with commit boundaries preserved on every partition so the stream layer
 // can re-serialize them through its lane barrier.
+//
+// The feed also participates in garbage collection: it reads rows at
+// HISTORICAL commit snapshots, so a version a lagging partition still
+// needs must not be reclaimed. Each feed therefore pins its oldest
+// undelivered commit timestamp into the context's GC horizon
+// (Context.OldestActiveVersion): the pin is taken on the committing
+// thread — under the group's commit latch, before any sweep for that
+// commit can run — and released as consumers acknowledge delivery
+// (PartitionedFeed.Ack).
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // DefaultFeedBuf is the default per-feed commit buffer: how many commits
@@ -60,10 +70,111 @@ func DefaultKeyHash(key string) uint64 {
 	return h
 }
 
+// feedPin tracks a partitioned feed's contribution to the GC horizon:
+// the oldest commit timestamp some partition has not finished consuming.
+// Commits enter in commit order (on the committing thread) and each must
+// be acknowledged once per partition; the pin advances as the slowest
+// partition acknowledges.
+type feedPin struct {
+	mu sync.Mutex
+	// pending holds the enqueued, not-yet-fully-acknowledged commit
+	// timestamps in ascending order; pending[0] is the pinned horizon.
+	pending []Timestamp
+	// acked[i] counts partition i's acknowledged events; popped counts
+	// commits fully acknowledged by every partition and removed from
+	// pending. min(acked) - popped is the head's remaining partitions.
+	acked  []uint64
+	popped uint64
+	// oldest mirrors pending[0] (0 = nothing pinned) for the lock-free
+	// horizon scan.
+	oldest atomic.Uint64
+}
+
+// add pins cts (called on the committing thread, in commit order).
+func (p *feedPin) add(cts Timestamp) {
+	p.mu.Lock()
+	p.pending = append(p.pending, cts)
+	if len(p.pending) == 1 {
+		p.oldest.Store(cts)
+	}
+	p.mu.Unlock()
+}
+
+// dropLast unpins the most recently added commit — the committing
+// thread lost the race with stop and the commit will never be
+// delivered. The watcher is single-flight (serialized by the group's
+// commit latch) and an undelivered commit can never be acknowledged, so
+// the tail entry is always the caller's.
+func (p *feedPin) dropLast() {
+	p.mu.Lock()
+	p.pending = p.pending[:len(p.pending)-1]
+	if len(p.pending) == 0 {
+		p.oldest.Store(0)
+	}
+	p.mu.Unlock()
+}
+
+// ack acknowledges partition part's oldest unacknowledged commit and
+// advances the pin past commits every partition has acknowledged.
+func (p *feedPin) ack(part int) {
+	p.mu.Lock()
+	p.acked[part]++
+	min := p.acked[0]
+	for _, a := range p.acked[1:] {
+		if a < min {
+			min = a
+		}
+	}
+	for p.popped < min && len(p.pending) > 0 {
+		p.pending = p.pending[1:]
+		p.popped++
+	}
+	if len(p.pending) == 0 {
+		p.oldest.Store(0)
+	} else {
+		p.oldest.Store(p.pending[0])
+	}
+	p.mu.Unlock()
+}
+
+// PartitionedFeed is the handle of a partitioned change feed registered
+// with Table.WatchPartitioned: the per-partition event channels, the stop
+// control, and the delivery acknowledgements that advance the feed's GC
+// pin.
+type PartitionedFeed struct {
+	feeds []<-chan FeedEvent
+	stop  func()
+	pin   *feedPin
+}
+
+// Partitions returns the per-partition event channels (do not modify the
+// slice). Channel i carries the committed changes whose keys hash to
+// partition i, in commit order, aligned across partitions.
+func (f *PartitionedFeed) Partitions() []<-chan FeedEvent { return f.feeds }
+
+// Ack acknowledges that partition part's consumer has fully processed its
+// OLDEST unacknowledged event — including any Table.ReadAt calls against
+// that commit's snapshot. Call it once per received event, after use; the
+// feed's GC pin advances past a commit once every partition has
+// acknowledged it. A consumer that stops acknowledging pins the horizon
+// (deliberately: that is the lagging feed the pin protects).
+func (f *PartitionedFeed) Ack(part int) { f.pin.ack(part) }
+
+// PinnedCTS reports the oldest commit timestamp the feed currently pins
+// into the GC horizon (0 when nothing is pinned).
+func (f *PartitionedFeed) PinnedCTS() Timestamp { return f.pin.oldest.Load() }
+
+// Stop shuts the feed down: commits after Stop are dropped, commits
+// already queued are still delivered (drain), and all partition channels
+// are closed once the queue is empty. Stop is idempotent. Queued commits
+// stay pinned until acknowledged, so the drain still reads correct
+// historical snapshots.
+func (f *PartitionedFeed) Stop() { f.stop() }
+
 // WatchPartitioned registers a partitioned change feed on the table: it
-// returns parts event channels, one per partition, each carrying the
-// table's committed changes whose keys hash to that partition (keyFn, nil
-// selecting FNV-1a of the key), in commit order.
+// returns a handle carrying parts event channels, one per partition, each
+// delivering the table's committed changes whose keys hash to that
+// partition (keyFn, nil selecting FNV-1a of the key), in commit order.
 //
 // Contract:
 //
@@ -81,20 +192,23 @@ func DefaultKeyHash(key string) uint64 {
 //     (DefaultFeedBuf when buf <= 0) and blocks only when the feed falls
 //     that far behind — the same backpressure discipline as Group.Watch
 //     based feeds.
+//   - Every undelivered commit is pinned into the context's GC horizon
+//     (the pin is taken under the commit latch, before any sweep for that
+//     commit can run), so historical snapshots the feed still needs are
+//     never reclaimed. Consumers MUST call Ack once per received event;
+//     the pin advances with the slowest partition's acknowledgements.
 //
-// stop shuts the feed down: commits after stop are dropped, commits
-// already queued are still delivered (drain), and all partition channels
-// are closed once the queue is empty. stop is idempotent. The feed
-// registration itself cannot be removed from the group (watcher
+// The feed registration itself cannot be removed from the group (watcher
 // registrations are permanent, as with Watch); a stopped feed's watcher
-// reduces to a channel-closed check.
-func (t *Table) WatchPartitioned(parts, buf int, keyFn func(string) uint64) (feeds []<-chan FeedEvent, stop func(), err error) {
+// reduces to a channel-closed check, and a stopped, drained and fully
+// acknowledged feed pins nothing.
+func (t *Table) WatchPartitioned(parts, buf int, keyFn func(string) uint64) (*PartitionedFeed, error) {
 	if parts < 1 {
-		return nil, nil, fmt.Errorf("txn: WatchPartitioned needs parts >= 1, got %d", parts)
+		return nil, fmt.Errorf("txn: WatchPartitioned needs parts >= 1, got %d", parts)
 	}
 	g := t.group
 	if g == nil {
-		return nil, nil, fmt.Errorf("%w: %q", ErrUnknownState, t.id)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownState, t.id)
 	}
 	if keyFn == nil {
 		keyFn = DefaultKeyHash
@@ -103,37 +217,71 @@ func (t *Table) WatchPartitioned(parts, buf int, keyFn func(string) uint64) (fee
 		buf = DefaultFeedBuf
 	}
 
+	pin := &feedPin{acked: make([]uint64, parts)}
+	t.ctx.addFeedPin(pin)
+
 	type rawEvent struct {
 		cts  Timestamp
 		keys []string // the shared write-set order slice; do not modify
 	}
 	in := make(chan rawEvent, buf)
 	stopCh := make(chan struct{})
-	var stopOnce sync.Once
-	stop = func() { stopOnce.Do(func() { close(stopCh) }) }
+	var (
+		stopOnce sync.Once
+		stopMu   sync.Mutex
+		stopped  bool
+		// sending tracks watchers between registration and enqueue (or
+		// stop-abandon). Registration happens under stopMu with stopped
+		// still false, so every Add strictly precedes stop's flip and
+		// thus the router's Wait — the WaitGroup is race-free, and the
+		// router's final drain runs only once no send can still be in
+		// flight.
+		sending sync.WaitGroup
+	)
+	stop := func() {
+		stopOnce.Do(func() {
+			stopMu.Lock()
+			stopped = true
+			stopMu.Unlock()
+			close(stopCh)
+		})
+	}
 
-	// The commit-latch side: one plain watcher that enqueues and returns.
+	// The commit-latch side: one plain watcher (serialized by the group's
+	// commit latch) that pins, enqueues and returns. Pinning precedes the
+	// enqueue so no sweep can run between the commit becoming visible and
+	// its snapshot being protected. The pin and the in-flight
+	// registration are atomic with respect to stop (stopMu, held only for
+	// the non-blocking part); the send itself blocks on backpressure but
+	// stays interruptible by stop — an interrupted send unpins, so every
+	// pinned commit is either delivered (the router waits out in-flight
+	// senders before its final drain) or unpinned, never stranded.
 	g.Watch(func(cts Timestamp, writes map[StateID][]string) {
 		keys, ok := writes[t.id]
 		if !ok {
 			return
 		}
-		// Check stop first on its own: a select over a closed stopCh AND a
-		// ready buffer picks randomly, which would let commits issued
-		// after stop returned sneak into the drain nondeterministically.
-		select {
-		case <-stopCh:
+		stopMu.Lock()
+		if stopped {
+			stopMu.Unlock()
 			return
-		default:
 		}
+		sending.Add(1)
+		pin.add(cts)
+		stopMu.Unlock()
+		defer sending.Done()
 		select {
 		case <-stopCh:
+			// Stop raced in while we were blocked (or about to enqueue
+			// with both cases ready): if the event went undelivered it
+			// must not stay pinned.
+			pin.dropLast()
 		case in <- rawEvent{cts: cts, keys: keys}:
 		}
 	})
 
 	chans := make([]chan FeedEvent, parts)
-	feeds = make([]<-chan FeedEvent, parts)
+	feeds := make([]<-chan FeedEvent, parts)
 	for i := range chans {
 		chans[i] = make(chan FeedEvent, buf)
 		feeds[i] = chans[i]
@@ -174,13 +322,31 @@ func (t *Table) WatchPartitioned(parts, buf int, keyFn func(string) uint64) (fee
 			case <-stopCh:
 				// Drain commits already queued so a consumer that stops
 				// the feed after its writers finished still sees every
-				// committed change on every partition.
+				// committed change on every partition. First wait out any
+				// watcher still between registration and enqueue (its send
+				// is interruptible — it sees stopCh too and unpins on
+				// abandon), THEN conclude on an empty buffer; otherwise an
+				// enqueue racing the stop could land just after the final
+				// emptiness check and sit pinned but undeliverable
+				// forever.
+				settled := make(chan struct{})
+				go func() {
+					sending.Wait()
+					close(settled)
+				}()
 				for {
 					select {
 					case ev := <-in:
 						deliver(ev)
-					default:
-						return
+					case <-settled:
+						for {
+							select {
+							case ev := <-in:
+								deliver(ev)
+							default:
+								return
+							}
+						}
 					}
 				}
 			case ev := <-in:
@@ -188,5 +354,5 @@ func (t *Table) WatchPartitioned(parts, buf int, keyFn func(string) uint64) (fee
 			}
 		}
 	}()
-	return feeds, stop, nil
+	return &PartitionedFeed{feeds: feeds, stop: stop, pin: pin}, nil
 }

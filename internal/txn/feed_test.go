@@ -3,6 +3,7 @@ package txn
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"sistream/internal/kv"
 )
@@ -34,10 +35,11 @@ func TestWatchPartitionedFanOut(t *testing.T) {
 	// The buffer must hold every commit: this test drains the feed only
 	// after all commits are done, and an undersized feed would (by
 	// design) backpressure the commit path into a deadlock here.
-	feeds, stop, err := tbl.WatchPartitioned(parts, 2*commits, nil)
+	feed, err := tbl.WatchPartitioned(parts, 2*commits, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	feeds, stop := feed.Partitions(), feed.Stop
 
 	var wantCTS []Timestamp
 	for c := 0; c < commits; c++ {
@@ -88,10 +90,11 @@ func TestWatchPartitionedFanOut(t *testing.T) {
 // delivered afterwards; commits after stop are dropped; channels close.
 func TestWatchPartitionedStopDrain(t *testing.T) {
 	_, p, tbl := feedEnv(t)
-	feeds, stop, err := tbl.WatchPartitioned(2, 64, nil)
+	feed, err := tbl.WatchPartitioned(2, 64, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
+	feeds, stop := feed.Partitions(), feed.Stop
 	commit := func(key string) {
 		tx, err := p.Begin()
 		if err != nil {
@@ -132,18 +135,86 @@ func TestWatchPartitionedStopDrain(t *testing.T) {
 	}
 }
 
+// TestWatchPartitionedStopUnblocksBackpressuredCommit: with a stalled
+// consumer and a tiny buffer, a committing watcher eventually blocks on
+// the feed (the documented backpressure). Stop must still return
+// promptly, release the blocked commit, and leave no commit pinned into
+// the GC horizon once the drained events are acknowledged — a commit
+// abandoned by stop unpins itself.
+func TestWatchPartitionedStopUnblocksBackpressuredCommit(t *testing.T) {
+	_, p, tbl := feedEnv(t)
+	feed, err := tbl.WatchPartitioned(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const commits = 10
+	writerDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < commits; i++ {
+			tx, err := p.Begin()
+			if err != nil {
+				writerDone <- err
+				return
+			}
+			if err := p.Write(tx, tbl, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+				writerDone <- err
+				return
+			}
+			if err := p.Commit(tx); err != nil {
+				writerDone <- err
+				return
+			}
+		}
+		writerDone <- nil
+	}()
+	// Let the writer run into the backpressure wall (buffer 1, nobody
+	// consuming), then stop the feed.
+	time.Sleep(30 * time.Millisecond)
+	stopped := make(chan struct{})
+	go func() {
+		feed.Stop()
+		close(stopped)
+	}()
+	select {
+	case <-stopped:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop deadlocked against a backpressured commit watcher")
+	}
+	select {
+	case err := <-writerDone:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("committer still blocked after Stop")
+	}
+	// Drain and acknowledge whatever was delivered; afterwards nothing
+	// may remain pinned (undelivered commits unpinned themselves).
+	n := 0
+	for range feed.Partitions()[0] {
+		feed.Ack(0)
+		n++
+	}
+	if n > commits {
+		t.Fatalf("drained %d events of %d commits", n, commits)
+	}
+	if pinned := feed.PinnedCTS(); pinned != 0 {
+		t.Fatalf("stopped+drained feed still pins cts %d", pinned)
+	}
+}
+
 // TestWatchPartitionedValidation: bad partition counts and tables outside
 // any group are rejected.
 func TestWatchPartitionedValidation(t *testing.T) {
 	ctx, _, tbl := feedEnv(t)
-	if _, _, err := tbl.WatchPartitioned(0, 0, nil); err == nil {
+	if _, err := tbl.WatchPartitioned(0, 0, nil); err == nil {
 		t.Fatal("parts=0 accepted")
 	}
 	orphan, err := ctx.CreateTable("orphan", kv.NewMem(), TableOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := orphan.WatchPartitioned(2, 0, nil); err == nil {
+	if _, err := orphan.WatchPartitioned(2, 0, nil); err == nil {
 		t.Fatal("group-less table accepted")
 	}
 }

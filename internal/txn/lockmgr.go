@@ -30,6 +30,14 @@ type lockRef struct {
 // expected to be restarted by the caller with a fresh, younger-still ID.
 // Wait-die guarantees freedom from deadlock because waits only ever point
 // from older to younger transactions.
+//
+// One exception is carved out for commit chains (chain.go): a chain
+// SUCCESSOR may wait for its predecessor's locks even though it is
+// younger. The wait graph stays acyclic because, per table, a chain
+// predecessor finishes acquiring before its successor starts (the lane
+// barrier orders the window's flushes), so a predecessor never waits on
+// a successor; the successor's wait resolves when the spine commits the
+// predecessor and its locks fall.
 type lockManager struct {
 	shards [lockShardCount]lockShard
 }
@@ -41,14 +49,14 @@ type lockShard struct {
 
 type lockEntry struct {
 	cond    *sync.Cond
-	holders map[ID]lockMode
+	holders map[*Txn]lockMode
 	waiters int
 	// xWaiters are transactions queued for an exclusive lock. Later
 	// requests must not barge past them (anti-starvation: without this,
 	// a stream of overlapping shared readers would starve the writer
 	// forever and the benchmark would show readers accelerating under
 	// contention instead of stalling, inverting the paper's Figure 4).
-	xWaiters map[ID]bool
+	xWaiters map[*Txn]bool
 }
 
 func newLockManager() *lockManager {
@@ -76,7 +84,7 @@ func lockKey(state StateID, key string) string {
 // queued exclusive requests. A transaction is always compatible with its
 // own locks (re-entrancy and S->X upgrade are resolved by the caller
 // loop); it never queues behind its own pending exclusive request.
-func compatible(e *lockEntry, tx ID, mode lockMode) bool {
+func compatible(e *lockEntry, tx *Txn, mode lockMode) bool {
 	for holder, held := range e.holders {
 		if holder == tx {
 			continue
@@ -94,22 +102,24 @@ func compatible(e *lockEntry, tx ID, mode lockMode) bool {
 }
 
 // mayWait applies wait-die: tx may wait only if it is older (smaller ID)
-// than every conflicting holder and every queued exclusive requester.
-// Waits then always point from older to younger transactions, which is
-// what makes the wait graph acyclic.
-func mayWait(e *lockEntry, tx ID, mode lockMode) bool {
+// than every conflicting holder and every queued exclusive requester —
+// waits then always point from older to younger transactions, which is
+// what makes the wait graph acyclic — OR the conflicting party is tx's
+// commit-chain predecessor, whose lock-acquisition phase is provably
+// over (see the type comment).
+func mayWait(e *lockEntry, tx *Txn, mode lockMode) bool {
 	for holder, held := range e.holders {
 		if holder == tx {
 			continue
 		}
 		if mode == lockExclusive || held == lockExclusive {
-			if tx > holder {
+			if tx.id > holder.id && !sameChainPredecessor(tx, holder) {
 				return false
 			}
 		}
 	}
 	for waiter := range e.xWaiters {
-		if waiter != tx && tx > waiter {
+		if waiter != tx && tx.id > waiter.id && !sameChainPredecessor(tx, waiter) {
 			return false
 		}
 	}
@@ -126,31 +136,31 @@ func (m *lockManager) acquire(tx *Txn, state StateID, key string, mode lockMode)
 	defer sh.mu.Unlock()
 	e, ok := sh.entries[k]
 	if !ok {
-		e = &lockEntry{holders: make(map[ID]lockMode), xWaiters: make(map[ID]bool)}
+		e = &lockEntry{holders: make(map[*Txn]lockMode), xWaiters: make(map[*Txn]bool)}
 		e.cond = sync.NewCond(&sh.mu)
 		sh.entries[k] = e
 	}
 	queuedX := false
 	defer func() {
 		if queuedX {
-			delete(e.xWaiters, tx.id)
+			delete(e.xWaiters, tx)
 			e.cond.Broadcast()
 		}
 	}()
 	for {
-		if held, own := e.holders[tx.id]; own && (held == lockExclusive || held == mode) {
+		if held, own := e.holders[tx]; own && (held == lockExclusive || held == mode) {
 			return nil // already held in a sufficient mode
 		}
-		if compatible(e, tx.id, mode) {
-			if _, own := e.holders[tx.id]; !own {
+		if compatible(e, tx, mode) {
+			if _, own := e.holders[tx]; !own {
 				tx.mu.Lock()
 				tx.locks = append(tx.locks, lockRef{mgr: m, state: state, key: key})
 				tx.mu.Unlock()
 			}
-			e.holders[tx.id] = mode
+			e.holders[tx] = mode
 			return nil
 		}
-		if !mayWait(e, tx.id, mode) {
+		if !mayWait(e, tx, mode) {
 			if len(e.holders) == 0 && e.waiters == 0 {
 				delete(sh.entries, k)
 			}
@@ -158,7 +168,7 @@ func (m *lockManager) acquire(tx *Txn, state StateID, key string, mode lockMode)
 		}
 		if mode == lockExclusive && !queuedX {
 			queuedX = true
-			e.xWaiters[tx.id] = true
+			e.xWaiters[tx] = true
 		}
 		e.waiters++
 		e.cond.Wait()
@@ -176,7 +186,7 @@ func (m *lockManager) release(tx *Txn, state StateID, key string) {
 	if !ok {
 		return
 	}
-	delete(e.holders, tx.id)
+	delete(e.holders, tx)
 	if len(e.holders) == 0 && e.waiters == 0 {
 		delete(sh.entries, k)
 		return

@@ -27,7 +27,11 @@ func NewS2PL(ctx *Context) *S2PL {
 	return &S2PL{protocolBase: protocolBase{ctx: ctx}, locks: newLockManager()}
 }
 
-var _ Protocol = (*S2PL)(nil)
+var (
+	_ Protocol       = (*S2PL)(nil)
+	_ SegmentWriter  = (*S2PL)(nil)
+	_ ChainCommitter = (*S2PL)(nil)
+)
 
 // Name implements Protocol.
 func (p *S2PL) Name() string { return "s2pl" }
@@ -103,6 +107,41 @@ func (p *S2PL) WriteBatch(tx *Txn, tbl *Table, ops []WriteOp) (int, error) {
 		}
 	}
 	return bufferWriteBatch(tx, tbl, ops, false)
+}
+
+// WriteSegment implements SegmentWriter: the lane acquires its exclusive
+// locks LANE-SIDE — on the calling goroutine, before the segment merges
+// into the shared transaction — and the merge then adopts the segment's
+// buffered value copies under one transaction-latch acquisition, exactly
+// like SI and BOCC. Without this, S2PL lanes fell back to WriteBatch's
+// second value copy. A wait-die kill at the i-th key aborts the
+// transaction and reports i operations applied, matching WriteBatch.
+// Concurrent calls from the lanes of one transaction are safe: keyed
+// routing keeps their key sets disjoint, and lock acquisition is
+// re-entrant per transaction for duplicate keys within one lane.
+func (p *S2PL) WriteSegment(tx *Txn, tbl *Table, seg *Segment) (int, error) {
+	if err := requireGroup(tbl); err != nil {
+		return 0, err
+	}
+	if tx.finished.Load() {
+		return 0, ErrFinished
+	}
+	ops := seg.Ops()
+	for i := range ops {
+		if err := p.locks.acquire(tx, tbl.id, ops[i].Key, lockExclusive); err != nil {
+			p.abortInternal(tx)
+			return i, err
+		}
+	}
+	return writeSegment(tx, tbl, seg, false)
+}
+
+// CommitChain implements ChainCommitter. S2PL needs no commit-time
+// admission (the locks already guarantee serializability); each
+// coordinated transaction's locks fall only after its chain run is fully
+// installed and visible, preserving strictness across the batch.
+func (p *S2PL) CommitChain(txs []*Txn, tbls []*Table) [][]error {
+	return p.commitChain(txs, tbls, nil, func(tx *Txn) { p.locks.releaseAll(tx) })
 }
 
 // Delete implements Protocol.

@@ -32,8 +32,9 @@ func NewSI(ctx *Context) *SI {
 }
 
 var (
-	_ Protocol      = (*SI)(nil)
-	_ SegmentWriter = (*SI)(nil)
+	_ Protocol       = (*SI)(nil)
+	_ SegmentWriter  = (*SI)(nil)
+	_ ChainCommitter = (*SI)(nil)
 )
 
 // Name implements Protocol.
@@ -135,11 +136,22 @@ func (p *SI) Delete(tx *Txn, tbl *Table, key string) error {
 // timestamp is a defensive fallback. The overlay carries writes admitted
 // earlier in the same group-commit batch, whose versions are not
 // installed yet but must conflict all the same.
+//
+// A transaction on a commit chain raises its snapshot to the chain's
+// committed floor: its predecessors' writes are serial history, not
+// conflicts (it is admitted strictly after them — exactly as if it had
+// begun right after the predecessor's commit), while a foreign writer
+// that committed after the floor still conflicts. See chain.go.
 func (p *SI) admitFCW(tx *Txn, ov *commitOverlay) error {
 	for _, e := range tx.states {
 		snapshot := tx.id
 		if pinned, ok := tx.readCTS[e.table.group.id]; ok {
 			snapshot = pinned
+		}
+		if ch := tx.chain; ch != nil {
+			if f := ch.floor(); f > snapshot {
+				snapshot = f
+			}
 		}
 		for i, key := range e.order {
 			// Resolve the MVCC object once here and cache it for the
@@ -180,6 +192,18 @@ func (p *SI) Commit(tx *Txn) error {
 	return commitAll(tx, func() error {
 		return p.installCommit(tx, func(ov *commitOverlay) error { return p.admitFCW(tx, ov) })
 	})
+}
+
+// CommitChain implements ChainCommitter: the chain's transactions are
+// flagged in order and the completed ones are admitted (First-Committer-
+// Wins, chain-floor aware) and committed through the group-commit
+// pipeline as one multi-request submission per consecutive same-group
+// run — one leader tenure, one coalesced store batch and fsync, one
+// LastCTS publish for the whole run.
+func (p *SI) CommitChain(txs []*Txn, tbls []*Table) [][]error {
+	return p.commitChain(txs, tbls, func(tx *Txn) func(*commitOverlay) error {
+		return func(ov *commitOverlay) error { return p.admitFCW(tx, ov) }
+	}, nil)
 }
 
 // Abort implements Protocol.

@@ -24,13 +24,16 @@ type TableOptions struct {
 	// visible. The paper's evaluation enables it ("we ... only set the
 	// sync option to true to guarantee failure atomicity").
 	SyncCommits bool
-	// GCEveryCommits opts into threshold-driven version reclamation:
-	// after every N transactions committed into this table, the retiring
-	// group-commit leader sweeps the table's version arrays (off the
-	// commit latch, concurrent with new commits). 0 disables the sweeper,
-	// leaving only the Install-time lazy GC — which only fires when a
-	// key's version array fills, so read-mostly keys would retain dead
-	// versions indefinitely. See Table.GCStats.
+	// GCEveryCommits opts into threshold-driven version reclamation: the
+	// table's version arrays are swept once per N transactions committed
+	// into it, by the retiring group-commit leaders (off the commit
+	// latch, concurrent with new commits). The sweep is INCREMENTAL: each
+	// retiring leader visits only the next 1/gcSweepSlices of the key
+	// shards, so the full table is covered once per threshold interval
+	// while no single commit path pays a whole-table pause. 0 disables
+	// the sweeper, leaving only the Install-time lazy GC — which only
+	// fires when a key's version array fills, so read-mostly keys would
+	// retain dead versions indefinitely. See Table.GCStats.
 	GCEveryCommits int
 }
 
@@ -54,12 +57,15 @@ type Table struct {
 	shards [tableShards]tableShard
 
 	// Sweeper bookkeeping (see TableOptions.GCEveryCommits): commits into
-	// this table since the last sweep, a single-flight guard, and the
-	// cumulative counters GCStats reports.
+	// this table since the last sweep, a single-flight guard, the next
+	// shard the incremental sweeper visits, and the cumulative counters
+	// GCStats reports.
 	commitsSinceGC atomic.Uint64
 	gcActive       atomic.Bool
+	gcCursor       atomic.Uint32
 	gcRuns         atomic.Uint64
 	gcReclaimed    atomic.Uint64
+	gcShards       atomic.Uint64
 }
 
 type tableShard struct {
@@ -172,16 +178,30 @@ func (t *Table) Keys() int {
 	return n
 }
 
+// gcSweepSlices is the number of increments a full threshold-driven
+// table sweep is split into: each retiring group-commit leader that
+// crosses the (scaled) threshold sweeps tableShards/gcSweepSlices shards
+// from the cursor, so the commit-path housekeeping pause is 1/8 of a
+// whole-table scan while full coverage still completes once per
+// GCEveryCommits interval.
+const gcSweepSlices = 8
+
 // GC reclaims versions invisible at the context's current
 // OldestActiveVersion across all keys, returning reclaimed slots. Safe
 // to run concurrently with commits (per-object GC synchronizes with
 // Install on the object's writer mutex; readers are RCU and never
 // blocked).
 func (t *Table) GC() int {
+	return t.sweep(0, tableShards)
+}
+
+// sweep reclaims dead versions in count shards starting at shard `from`
+// (wrapping), recording one sweeper run.
+func (t *Table) sweep(from, count int) int {
 	horizon := t.ctx.OldestActiveVersion()
 	n := 0
-	for i := range t.shards {
-		sh := &t.shards[i]
+	for j := 0; j < count; j++ {
+		sh := &t.shards[(from+j)%tableShards]
 		sh.mu.RLock()
 		objs := make([]*mvcc.Object, 0, len(sh.m))
 		for _, o := range sh.m {
@@ -194,31 +214,64 @@ func (t *Table) GC() int {
 	}
 	t.gcRuns.Add(1)
 	t.gcReclaimed.Add(uint64(n))
+	t.gcShards.Add(uint64(count))
 	return n
 }
 
-// maybeGC runs a sweep when the opt-in commit threshold has been reached.
-// It is called by the retiring group-commit leader after the commit latch
-// is released, so the sweep overlaps new commits; the single-flight guard
-// keeps back-to-back leaders from stacking sweeps.
+// maybeGC runs one sweep increment when the opt-in commit threshold has
+// been reached. It is called by the retiring group-commit leader after
+// the commit latch is released, so the sweep overlaps new commits; the
+// single-flight guard keeps back-to-back leaders from stacking sweeps.
+// The configured GCEveryCommits interval is divided across gcSweepSlices
+// increments — each crossing of the scaled threshold sweeps the next
+// slice of shards — so residency stays bounded by one full interval
+// while each leader pays only a fraction of the scan.
 func (t *Table) maybeGC() {
 	n := t.opts.GCEveryCommits
-	if n <= 0 || t.commitsSinceGC.Load() < uint64(n) {
+	if n <= 0 {
+		return
+	}
+	step := uint64(n / gcSweepSlices)
+	if step < 1 {
+		step = 1
+	}
+	if t.commitsSinceGC.Load() < step {
 		return
 	}
 	if !t.gcActive.CompareAndSwap(false, true) {
 		return
 	}
 	t.commitsSinceGC.Store(0)
-	t.GC()
+	from := int(t.gcCursor.Load())
+	chunk := tableShards / gcSweepSlices
+	t.gcCursor.Store(uint32((from + chunk) % tableShards))
+	t.sweep(from, chunk)
 	t.gcActive.Store(false)
 }
 
-// GCStats reports explicit sweep activity — threshold-driven sweeper runs
-// and manual GC calls: completed sweeps and the total version slots they
-// reclaimed (Install-time lazy reclamation is not included).
-func (t *Table) GCStats() (runs, reclaimed uint64) {
-	return t.gcRuns.Load(), t.gcReclaimed.Load()
+// GCTableStats reports explicit sweep activity (Table.GCStats).
+type GCTableStats struct {
+	// Runs counts completed sweeps: incremental threshold-driven slices
+	// and manual GC calls (Install-time lazy reclamation is not
+	// included).
+	Runs uint64
+	// ReclaimedSlots is the total version slots those sweeps reclaimed.
+	ReclaimedSlots uint64
+	// SweptShards is the total shards those sweeps visited;
+	// SweptShards/Runs is the per-sweep shard count (a full manual GC
+	// counts all shards, an incremental slice tableShards/gcSweepSlices).
+	SweptShards uint64
+}
+
+// GCStats reports explicit sweep activity — threshold-driven incremental
+// sweeps and manual GC calls: completed sweeps, the version slots they
+// reclaimed, and the shards they visited.
+func (t *Table) GCStats() GCTableStats {
+	return GCTableStats{
+		Runs:           t.gcRuns.Load(),
+		ReclaimedSlots: t.gcReclaimed.Load(),
+		SweptShards:    t.gcShards.Load(),
+	}
 }
 
 // ResidentVersions counts the currently occupied version slots across all

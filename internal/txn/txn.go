@@ -225,6 +225,11 @@ type Txn struct {
 	// locks tracks S2PL lock ownership for release at commit/abort.
 	locks []lockRef
 
+	// chain links the transaction into the serial commit chain of its
+	// windowed stream query (nil outside a window). Set once before the
+	// first write (SetChain); read by commit admission and wait-die.
+	chain *Chain
+
 	// pinnedOldest is what this transaction forces OldestActiveVersion
 	// to: the minimum snapshot it may still read. 0 = no pin yet. It is
 	// read concurrently by the GC horizon scan, hence atomic.

@@ -33,6 +33,22 @@ type (
 	// restricted to one partition of a partitioned change feed
 	// (Table.WatchPartitioned).
 	FeedEvent = txn.FeedEvent
+	// PartitionedFeed is the handle of a partitioned change feed:
+	// per-partition event channels, stop control, and the delivery
+	// acknowledgements that advance the feed's GC-horizon pin.
+	PartitionedFeed = txn.PartitionedFeed
+	// Chain is the serial-commit token of one windowed stream query:
+	// transactions attached to a chain may overlap inside the window
+	// while committing strictly in order, with conflicts between chain
+	// members exempted as serial history (see TransactionsWindow).
+	Chain = txn.Chain
+	// ChainCommitter is implemented by protocols whose commit path can
+	// take a whole chain window at once — one group-commit batch for
+	// several consecutive transactions (SI, S2PL and BOCC all do).
+	ChainCommitter = txn.ChainCommitter
+	// GCTableStats reports a table's explicit sweep activity: runs,
+	// reclaimed version slots and swept shards (Table.GCStats).
+	GCTableStats = txn.GCTableStats
 )
 
 // DefaultFeedBuf is the default commit buffer of change feeds (ToStream,
@@ -92,6 +108,9 @@ var (
 	NewBOCC = txn.NewBOCC
 	// IsAbort reports whether an error is a retryable transaction abort.
 	IsAbort = txn.IsAbort
+	// NewChain creates an empty commit chain for a windowed stream query
+	// (Stream.TransactionsWindow attaches one automatically).
+	NewChain = txn.NewChain
 	// DefaultKeyHash is the routing hash Parallelize and the partitioned
 	// change feed default to; pass it (or share a custom function)
 	// wherever ingest lanes and feed partitions must agree on placement.
