@@ -340,6 +340,33 @@ func BenchmarkIngestWindow(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestAuto measures the self-tuning commit spine on the same
+// small-transaction workload as BenchmarkIngestWindow: no static window —
+// the AutoTune controller sizes the window and linger from the commit
+// latencies the run itself observes (starting at 1, probing upward while
+// fsync amortization keeps paying). tuned_window reports where the
+// controller ended up, txns/batch the achieved commit fan-in.
+func BenchmarkIngestAuto(b *testing.B) {
+	cfg := bench.DefaultIngest()
+	cfg.Elements = b.N
+	cfg.CommitEvery = 10
+	cfg.Keys = 100_000
+	cfg.Lanes = 4
+	cfg.Auto = true
+	res, err := bench.RunIngest(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Aborts != 0 {
+		b.Fatalf("single-writer ingest aborted %d transactions", res.Aborts)
+	}
+	b.ReportMetric(res.ElemsPerSec, "elems/s")
+	b.ReportMetric(float64(res.TunedWindow), "tuned_window")
+	if res.CommitBatches > 0 {
+		b.ReportMetric(float64(res.CommitTxns)/float64(res.CommitBatches), "txns/batch")
+	}
+}
+
 // BenchmarkPipeline measures the full shared-nothing pipeline end to
 // end — ingest lanes → table → partitioned feed → downstream lanes —
 // with the commit window fixed at 8 and the partition→lane wiring

@@ -12,6 +12,7 @@
 //	sibench -ingest                      # dataflow ingest rate (elems/s)
 //	sibench -ingest -lanes 4             # ... with 4 parallel keyed lanes
 //	sibench -ingest -lanes 4 -window 8   # ... with the fused commit spine
+//	sibench -ingest -lanes 4 -window auto  # ... with the self-tuning spine
 //	sibench -ingest -json                # ... as one JSON object
 //	sibench -ingest -lanesweep -json     # lanes 1,2,4,8 as a JSON array
 //	sibench -feed                        # table→stream feed rate, sequential watcher
@@ -21,9 +22,11 @@
 //	                                     # feed partitions → downstream lanes
 //	sibench -pipeline -fuse=false        # ... through the unfused merge seam
 //	sibench -pipeline -pipesweep -json   # fused/unfused × window 1,8 as JSON
+//	sibench -adaptive                    # self-tuning spine vs the static
+//	                                     # windows on the lsm+sync pipeline
 //	sibench -benchjson -backend mem      # lane sweep + feed sweep + pipeline
-//	                                     # sweep as one JSON object
-//	                                     # (regenerates BENCH_ingest.json)
+//	                                     # sweep + adaptive sweep as one JSON
+//	                                     # object (regenerates BENCH_ingest.json)
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
@@ -36,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	"sistream/internal/bench"
@@ -52,7 +56,7 @@ func main() {
 		every     = flag.Int("commitevery", 100, "ingest: tuples per transaction (punctuation interval)")
 		keys      = flag.Int("keys", 100_000, "ingest: distinct keys cycled through")
 		lanes     = flag.Int("lanes", 1, "ingest: parallel keyed lanes (1 = sequential spine)")
-		window    = flag.Int("window", 1, "ingest/pipeline: cross-transaction commit window (1 = serialized spine)")
+		window    = flag.String("window", "1", "ingest/pipeline: cross-transaction commit window (1 = serialized spine, \"auto\" = self-tuning)")
 		laneSweep = flag.Bool("lanesweep", false, "ingest: sweep lanes 1,2,4,8 (JSON: array of results)")
 		feed      = flag.Bool("feed", false, "run the table→stream change-feed benchmark")
 		parts     = flag.Int("partitions", 0, "feed: partitioned-feed watchers (0 = sequential ToStream); pipeline: feed partitions = downstream lanes")
@@ -60,6 +64,7 @@ func main() {
 		pipeline  = flag.Bool("pipeline", false, "run the end-to-end pipeline benchmark (ingest lanes → table → feed → downstream lanes)")
 		fuse      = flag.Bool("fuse", true, "pipeline: direct partition→lane wiring (false = unfused merge → re-route seam)")
 		pipeSweep = flag.Bool("pipesweep", false, "pipeline: sweep fused/unfused × window 1,8 (honors -commitevery/-lanes; partitions = lanes)")
+		adaptive  = flag.Bool("adaptive", false, "run the self-tuning spine sweep: window auto vs 1,8 on the lsm+sync pipeline")
 		benchJSON = flag.Bool("benchjson", false, "run the ingest lane sweep, the feed partition sweep and the pipeline sweep, emit the BENCH_ingest.json object")
 		jsonOut   = flag.Bool("json", false, "ingest/feed: JSON output")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
@@ -118,7 +123,15 @@ func main() {
 	icfg.Keys = *keys
 	icfg.Sync = *sync
 	icfg.Lanes = *lanes
-	icfg.Window = *window
+	if *window == "auto" {
+		icfg.Auto = true
+	} else {
+		w, err := strconv.Atoi(*window)
+		if err != nil {
+			fatal(fmt.Errorf("-window wants an integer or \"auto\", got %q", *window))
+		}
+		icfg.Window = w
+	}
 
 	// Sweeps over the lsm backend give every cell a FRESH directory —
 	// re-opening a shared one would replay earlier cells' data into the
@@ -129,6 +142,8 @@ func main() {
 	switch {
 	case *benchJSON:
 		runBenchJSON(icfg, freshDir)
+	case *adaptive:
+		runAdaptive(icfg, *jsonOut, freshDir)
 	case *pipeline:
 		runPipeline(icfg, *parts, *fuse, *pipeSweep, *jsonOut, freshDir)
 	case *feed:
@@ -238,6 +253,9 @@ func feedPartSweep(icfg bench.IngestConfig, print bool, freshDir func() string) 
 // supplies a new data directory per lsm cell.
 func pipelineSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.PipelineResult {
 	parts := max(icfg.Lanes, 1)
+	// This sweep IS the static windows; -window auto has its own cells
+	// (adaptiveSweep).
+	icfg.Auto = false
 	var results []bench.PipelineResult
 	for _, w := range []int{1, 8} {
 		for _, fused := range []bool{false, true} {
@@ -256,6 +274,57 @@ func pipelineSweep(icfg bench.IngestConfig, print bool, freshDir func() string) 
 		}
 	}
 	return results
+}
+
+// adaptiveSweep runs the self-tuning pipeline cells: the same shape as
+// pipelineSweep's static-window cells, but with the ingest spine under
+// the AutoTune controller — unfused and fused wiring. Comparing its
+// cells against pipelineSweep's answers whether the controller found
+// the static optimum (the bar: within 10% of the best static window).
+// The adaptive half of BENCH_ingest.json ("Adaptive"), shared by
+// -adaptive and -benchjson. freshDir supplies a new data directory per
+// lsm cell.
+func adaptiveSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.PipelineResult {
+	parts := max(icfg.Lanes, 1)
+	icfg.Window = 0
+	icfg.Auto = true
+	var results []bench.PipelineResult
+	for _, fused := range []bool{false, true} {
+		if icfg.Backend == "lsm" {
+			icfg.Dir = freshDir()
+		}
+		res, err := bench.RunPipeline(bench.PipelineConfig{Ingest: icfg, Partitions: parts, Fuse: fused})
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		if print {
+			bench.PrintPipeline(os.Stdout, res)
+		}
+	}
+	return results
+}
+
+// runAdaptive runs the static pipeline sweep and the adaptive cells on
+// the lsm backend with synchronous commits (the regime where window
+// tuning has an fsync to amortize) and renders both, so one invocation
+// answers "did the controller find the static optimum?".
+func runAdaptive(icfg bench.IngestConfig, jsonOut bool, freshDir func() string) {
+	icfg.Backend = "lsm"
+	icfg.Sync = true
+	icfg.Auto = false
+	static := pipelineSweep(icfg, !jsonOut, freshDir)
+	auto := adaptiveSweep(icfg, !jsonOut, freshDir)
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Pipeline []bench.PipelineResult
+			Adaptive []bench.PipelineResult
+		}{static, auto}); err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // runPipeline runs the end-to-end pipeline benchmark: one cell (with the
@@ -312,15 +381,18 @@ func runFeed(icfg bench.IngestConfig, partitions int, sweep, jsonOut bool, fresh
 }
 
 // runBenchJSON regenerates the checked-in BENCH_ingest.json: the ingest
-// lane sweep, the feed partition sweep and the end-to-end pipeline sweep
-// (fused/unfused × commit window 1/8) as one JSON object with keys
-// "Ingest", "Feed" and "Pipeline". The checked-in file is produced with
-// `sibench -benchjson -backend mem`. Ingest and Feed run on the chosen
-// backend; the Pipeline sweep ALWAYS runs on the lsm backend with
-// synchronous commits — cross-transaction commit batching amortizes the
-// per-commit fsync, and a memory backend has no fsync to amortize, so a
-// mem-backed sweep would (correctly but uninformatively) show fan-in 1.
+// lane sweep, the feed partition sweep, the end-to-end pipeline sweep
+// (fused/unfused × commit window 1/8) and the adaptive cells (the same
+// pipeline under the self-tuning spine) as one JSON object with keys
+// "Ingest", "Feed", "Pipeline" and "Adaptive". The checked-in file is
+// produced with `sibench -benchjson -backend mem`. Ingest and Feed run
+// on the chosen backend; the Pipeline and Adaptive sweeps ALWAYS run on
+// the lsm backend with synchronous commits — cross-transaction commit
+// batching amortizes the per-commit fsync, and a memory backend has no
+// fsync to amortize, so a mem-backed sweep would (correctly but
+// uninformatively) show fan-in 1.
 func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
+	icfg.Auto = false
 	ingests := ingestLaneSweep(icfg, false, freshDir)
 	icfg.Lanes = 1
 	feeds := feedPartSweep(icfg, false, freshDir)
@@ -331,13 +403,15 @@ func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
 	icfg.CommitEvery = 8
 	icfg.Lanes = 4
 	pipelines := pipelineSweep(icfg, false, freshDir)
+	adaptives := adaptiveSweep(icfg, false, freshDir)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(struct {
 		Ingest   []bench.IngestResult
 		Feed     []bench.FeedResult
 		Pipeline []bench.PipelineResult
-	}{ingests, feeds, pipelines}); err != nil {
+		Adaptive []bench.PipelineResult
+	}{ingests, feeds, pipelines, adaptives}); err != nil {
 		fatal(err)
 	}
 }

@@ -51,6 +51,12 @@ type IngestConfig struct {
 	// transactions. 0 or 1 selects the serialized spine (one commit per
 	// transaction).
 	Window int
+	// Auto replaces the static Window with the self-tuning controller
+	// (stream.AutoTune): the pipeline runs TransactionsTuned + MergeTuned
+	// sharing one stream.AutoTuner that sizes the commit window and
+	// linger from observed fsync latency. Mutually exclusive with
+	// Window > 1.
+	Auto bool
 }
 
 // DefaultIngest returns a quick single-writer in-memory configuration.
@@ -90,6 +96,9 @@ func (c *IngestConfig) validate() error {
 	if c.Window < 0 {
 		return fmt.Errorf("bench: negative commit window")
 	}
+	if c.Auto && c.Window > 1 {
+		return fmt.Errorf("bench: Auto and a static Window > 1 are mutually exclusive")
+	}
 	if c.KeyBytes < 1 {
 		c.KeyBytes = 8
 	}
@@ -117,6 +126,13 @@ type IngestResult struct {
 	// CommitTxns / CommitBatches are the group-commit pipeline counters.
 	CommitTxns    uint64
 	CommitBatches uint64
+
+	// TunedWindow is the window the controller settled on by the end of
+	// an Auto run (0 for static runs); TunedGrows / TunedShrinks count
+	// its up / down resizes along the way.
+	TunedWindow  int    `json:",omitempty"`
+	TunedGrows   uint64 `json:",omitempty"`
+	TunedShrinks uint64 `json:",omitempty"`
 }
 
 // RunIngest executes one ingest cell: a single writer pushing
@@ -178,27 +194,41 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	if window < 1 {
 		window = 1
 	}
-	s := src.Punctuate(cfg.CommitEvery).TransactionsWindow(p, window)
 	var stats *stream.ToTableStats
-	switch {
-	case window > 1:
-		// The fused commit spine needs the region barrier even at one
-		// lane: the spine worker is what batches consecutive decided
-		// transactions into one group-commit submission.
+	var tun *stream.AutoTuner
+	if cfg.Auto {
+		// Self-tuning spine: the controller sizes the window and linger
+		// from the latencies this very run observes.
+		tun = stream.NewAutoTuner(stream.AutoTune{})
 		lanes := cfg.Lanes
 		if lanes < 1 {
 			lanes = 1
 		}
-		region := s.Parallelize(lanes, nil)
+		region := src.Punctuate(cfg.CommitEvery).TransactionsTuned(p, tun).Parallelize(lanes, nil)
 		stats = region.ToTable(p, tbl)
-		region.MergeBatched("merge", window).Discard()
-	case cfg.Lanes > 1:
-		region := s.Parallelize(cfg.Lanes, nil)
-		stats = region.ToTable(p, tbl)
-		region.Merge("merge").Discard()
-	default:
-		s, stats = s.ToTable(p, tbl)
-		s.Discard()
+		region.MergeTuned("merge", tun).Discard()
+	} else {
+		s := src.Punctuate(cfg.CommitEvery).TransactionsWindow(p, window)
+		switch {
+		case window > 1:
+			// The fused commit spine needs the region barrier even at one
+			// lane: the spine worker is what batches consecutive decided
+			// transactions into one group-commit submission.
+			lanes := cfg.Lanes
+			if lanes < 1 {
+				lanes = 1
+			}
+			region := s.Parallelize(lanes, nil)
+			stats = region.ToTable(p, tbl)
+			region.MergeBatched("merge", window).Discard()
+		case cfg.Lanes > 1:
+			region := s.Parallelize(cfg.Lanes, nil)
+			stats = region.ToTable(p, tbl)
+			region.Merge("merge").Discard()
+		default:
+			s, stats = s.ToTable(p, tbl)
+			s.Discard()
+		}
 	}
 
 	start := time.Now()
@@ -216,6 +246,12 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	}
 	res.CommitTxns, res.CommitBatches = group.CommitStats()
 	res.ElemsPerSec = float64(res.Writes) / elapsed.Seconds()
+	if tun != nil {
+		ts := tun.Stats()
+		res.TunedWindow = ts.Window
+		res.TunedGrows = ts.Grows
+		res.TunedShrinks = ts.Shrinks
+	}
 	return res, nil
 }
 
@@ -241,11 +277,11 @@ func PrintIngest(w io.Writer, r IngestResult) {
 	if lanes < 1 {
 		lanes = 1
 	}
-	window := c.Window
-	if window < 1 {
-		window = 1
+	window := fmt.Sprint(max(c.Window, 1))
+	if c.Auto {
+		window = fmt.Sprintf("auto(→%d, +%d/-%d)", r.TunedWindow, r.TunedGrows, r.TunedShrinks)
 	}
-	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t lanes=%d window=%d\n",
+	fmt.Fprintf(w, "ingest protocol=%s backend=%s elements=%d commit-every=%d keys=%d sync=%t lanes=%d window=%s\n",
 		c.Protocol, c.Backend, c.Elements, c.CommitEvery, c.Keys, c.Sync, lanes, window)
 	fmt.Fprintf(w, "  throughput %12.0f elems/s  (%d writes in %v)\n", r.ElemsPerSec, r.Writes, r.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "  txns       commits=%d aborts=%d\n", r.Commits, r.Aborts)

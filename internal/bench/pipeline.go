@@ -74,6 +74,12 @@ type PipelineResult struct {
 	// commit fan-in (1.0 = every transaction paid its own batch+fsync).
 	CommitTxns    uint64
 	CommitBatches uint64
+
+	// TunedWindow is the controller's final window for Ingest.Auto runs
+	// (0 for static runs); TunedGrows / TunedShrinks its resize counts.
+	TunedWindow  int    `json:",omitempty"`
+	TunedGrows   uint64 `json:",omitempty"`
+	TunedShrinks uint64 `json:",omitempty"`
 }
 
 // CommitFanIn returns ingest transactions per group-commit batch.
@@ -188,13 +194,24 @@ func RunPipeline(cfg PipelineConfig) (PipelineResult, error) {
 	if lanes < 1 {
 		lanes = 1
 	}
-	s := src.Punctuate(ic.CommitEvery).TransactionsWindow(p, window)
-	ingRegion := s.Parallelize(lanes, nil)
-	stats := ingRegion.ToTable(p, tbl)
-	if window > 1 {
-		ingRegion.MergeBatched("merge", window).Discard()
+	var (
+		stats *stream.ToTableStats
+		tun   *stream.AutoTuner
+	)
+	if ic.Auto {
+		tun = stream.NewAutoTuner(stream.AutoTune{})
+		ingRegion := src.Punctuate(ic.CommitEvery).TransactionsTuned(p, tun).Parallelize(lanes, nil)
+		stats = ingRegion.ToTable(p, tbl)
+		ingRegion.MergeTuned("merge", tun).Discard()
 	} else {
-		ingRegion.Merge("merge").Discard()
+		s := src.Punctuate(ic.CommitEvery).TransactionsWindow(p, window)
+		ingRegion := s.Parallelize(lanes, nil)
+		stats = ingRegion.ToTable(p, tbl)
+		if window > 1 {
+			ingRegion.MergeBatched("merge", window).Discard()
+		} else {
+			ingRegion.Merge("merge").Discard()
+		}
 	}
 
 	start := time.Now()
@@ -217,6 +234,12 @@ func RunPipeline(cfg PipelineConfig) (PipelineResult, error) {
 	}
 	res.CommitTxns, res.CommitBatches = group.CommitStats()
 	res.ElemsPerSec = float64(res.DownElems) / elapsed.Seconds()
+	if tun != nil {
+		ts := tun.Stats()
+		res.TunedWindow = ts.Window
+		res.TunedGrows = ts.Grows
+		res.TunedShrinks = ts.Shrinks
+	}
 	return res, nil
 }
 
@@ -227,9 +250,13 @@ func PrintPipeline(w io.Writer, r PipelineResult) {
 	if !c.Fuse {
 		wiring = "unfused (merge → re-route)"
 	}
-	fmt.Fprintf(w, "pipeline %s protocol=%s backend=%s elements=%d commit-every=%d lanes=%d window=%d partitions=%d\n",
+	window := fmt.Sprint(max(c.Ingest.Window, 1))
+	if c.Ingest.Auto {
+		window = fmt.Sprintf("auto(→%d, +%d/-%d)", r.TunedWindow, r.TunedGrows, r.TunedShrinks)
+	}
+	fmt.Fprintf(w, "pipeline %s protocol=%s backend=%s elements=%d commit-every=%d lanes=%d window=%s partitions=%d\n",
 		wiring, c.Ingest.Protocol, c.Ingest.Backend, c.Ingest.Elements, c.Ingest.CommitEvery,
-		max(c.Ingest.Lanes, 1), max(c.Ingest.Window, 1), c.Partitions)
+		max(c.Ingest.Lanes, 1), window, c.Partitions)
 	fmt.Fprintf(w, "  end-to-end %12.0f elems/s  (%d changes of %d writes in %v, %d downstream commits)\n",
 		r.ElemsPerSec, r.DownElems, r.IngestElems, r.Elapsed.Round(time.Millisecond), r.DownCommits)
 	fmt.Fprintf(w, "  group ci   %d txns in %d batches (fan-in %.2f)\n", r.CommitTxns, r.CommitBatches, r.CommitFanIn())

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefaultEWMAAlpha is the sample weight an EWMA with a zero Alpha uses:
+// each new observation contributes a quarter of the average, so the
+// average settles within ~2% of a level shift after 16 samples — fast
+// enough for the adaptive spine controller to track load changes, smooth
+// enough to ignore single-sample noise.
+const DefaultEWMAAlpha = 0.25
+
+// EWMA is an exponentially weighted moving average of float64 samples,
+// safe for concurrent use: the current average is kept as IEEE-754 bits in
+// one atomic word, updated by CAS, so recording a sample is lock-free and
+// allocation-free. The zero value is ready to use (DefaultEWMAAlpha).
+//
+// The first sample seeds the average directly. An average of exactly 0.0
+// is indistinguishable from "no samples yet" (the next sample re-seeds);
+// the intended inputs — latencies, batch sizes, queue occupancies offset
+// by their minimum of interest — are strictly positive, where this never
+// triggers.
+type EWMA struct {
+	bits atomic.Uint64
+
+	// Alpha is the weight of each new sample in (0, 1]; 0 selects
+	// DefaultEWMAAlpha. Set it before the first Observe and leave it —
+	// it is read unsynchronized on the hot path.
+	Alpha float64
+}
+
+// NewEWMA creates an EWMA with the given sample weight (0 selects
+// DefaultEWMAAlpha).
+func NewEWMA(alpha float64) *EWMA { return &EWMA{Alpha: alpha} }
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(v float64) {
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = DefaultEWMAAlpha
+	}
+	for {
+		cur := e.bits.Load()
+		next := v
+		if cur != 0 {
+			next = (1-a)*math.Float64frombits(cur) + a*v
+		}
+		if e.bits.CompareAndSwap(cur, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average (0 when no sample was observed).
+func (e *EWMA) Value() float64 {
+	return math.Float64frombits(e.bits.Load())
+}
+
+// Reset clears the average back to the unseeded state.
+func (e *EWMA) Reset() { e.bits.Store(0) }

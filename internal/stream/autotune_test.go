@@ -1,0 +1,309 @@
+package stream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sistream/internal/kv"
+	"sistream/internal/txn"
+)
+
+// This file pins the self-tuning spine to the promise that makes it safe
+// to leave on: tuning changes BATCHING GEOMETRY only. Whatever window
+// sequence the controller walks through, the committed table contents,
+// stats and punctuation framing are identical to the sequential
+// reference — across protocols, wiring shapes (direct, fused
+// Reparallelize, merge+re-route fallback), and forced mid-stream
+// resizes.
+
+// runSpineTuned is runSpine with the adaptive controller in both ends of
+// the spine (TransactionsTuned + MergeTuned) and a selectable region
+// wiring between them.
+func runSpineTuned(t *testing.T, script []scriptItem, punctuateN, lanes int, wiring string, cfg AutoTune, proto func(*txn.Context) txn.Protocol) (sig []string, rows map[string]string, stats *ToTableStats) {
+	t.Helper()
+	ctx := txn.NewContext()
+	store := kv.NewMem()
+	t.Cleanup(func() { store.Close() })
+	tbl, err := ctx.CreateTable("prop", store, txn.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("g", tbl); err != nil {
+		t.Fatal(err)
+	}
+	p := proto(ctx)
+	tun := NewAutoTuner(cfg)
+
+	top := New("prop-tuned")
+	src := top.Source("script", func(emit func(Element)) error {
+		for _, it := range script {
+			if it.kind == KindData {
+				emit(DataElement(Tuple{Key: it.key, Value: []byte(it.val), Delete: it.del}))
+			} else {
+				emit(Punctuation(it.kind))
+			}
+		}
+		return nil
+	})
+	region := src.Punctuate(punctuateN).TransactionsTuned(p, tun).Parallelize(lanes, nil)
+	switch wiring {
+	case "direct":
+	case "fused":
+		// Same count, same (default) token: must wire lane-for-lane.
+		region = region.Reparallelize("re", lanes, nil)
+	case "reroute":
+		// Count mismatch: merge barrier + fresh router in the middle.
+		region = region.Reparallelize("re", lanes/2+1, nil)
+	default:
+		t.Fatalf("unknown wiring %q", wiring)
+	}
+	stats = region.ToTable(p, tbl)
+	collected := region.MergeTuned("merge", tun).Collect()
+	if err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range <-collected {
+		switch e.Kind {
+		case KindBOT:
+			sig = append(sig, "B")
+		case KindData:
+			sig = append(sig, "D:"+e.Tuple.Key)
+		case KindCommit:
+			sig = append(sig, "C")
+		case KindRollback:
+			sig = append(sig, "R")
+		}
+	}
+	kvs, err := TableSnapshot(p, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = map[string]string{}
+	for _, r := range kvs {
+		rows[r.Key] = string(r.Value)
+	}
+	return sig, rows, stats
+}
+
+// TestPropertyAdaptiveEquivalence: random scripts (rollbacks included)
+// through the self-tuning spine must reproduce the sequential reference
+// exactly — for all three protocols and all three wiring shapes. The
+// tuner runs a deliberately twitchy config (Settle=1: a decision per
+// batch) so window resizes land mid-script constantly.
+func TestPropertyAdaptiveEquivalence(t *testing.T) {
+	protos := map[string]func(*txn.Context) txn.Protocol{
+		"mvcc": func(c *txn.Context) txn.Protocol { return txn.NewSI(c) },
+		"s2pl": func(c *txn.Context) txn.Protocol { return txn.NewS2PL(c) },
+		"bocc": func(c *txn.Context) txn.Protocol { return txn.NewBOCC(c) },
+	}
+	seeds := int64(4)
+	if testing.Short() {
+		seeds = 2
+	}
+	twitchy := AutoTune{MaxWindow: 8, Settle: 1}
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed + 7700))
+		script := genScript(rng)
+		punctuateN := 1 + rng.Intn(7)
+		want := runRef(script, punctuateN, 0)
+		for name, proto := range protos {
+			for _, wiring := range []string{"direct", "fused", "reroute"} {
+				t.Run(fmt.Sprintf("seed=%d/%s/%s", seed, name, wiring), func(t *testing.T) {
+					sig, rows, stats := runSpineTuned(t, script, punctuateN, 4, wiring, twitchy, proto)
+					checkSpineAgainstRef(t, name+"/"+wiring, want, sig, rows, stats)
+				})
+			}
+		}
+	}
+}
+
+// TestStressAutoTuneResizeMidStream is the -race stress of the
+// controller resizing while the pipeline runs: LatencyBound of 1ns makes
+// every grown window immediately violate the latency guard, so the
+// controller oscillates grow/shrink for the whole run — concurrent with
+// 8 lanes, windowed transactions, rollbacks splitting batches — and the
+// outcome must still match the sequential expectation exactly.
+func TestStressAutoTuneResizeMidStream(t *testing.T) {
+	ctx := txn.NewContext()
+	store := kv.NewMem()
+	t.Cleanup(func() { store.Close() })
+	tbl, err := ctx.CreateTable("stress", store, txn.TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ctx.CreateGroup("g", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := txn.NewSI(ctx)
+	tun := NewAutoTuner(AutoTune{MaxWindow: 16, Settle: 1, LatencyBound: time.Nanosecond})
+
+	txns := 2000
+	if testing.Short() {
+		txns = 400
+	}
+	const keys, perTxn, rollbackEvery = 97, 7, 5
+
+	top := New("stress-tune")
+	src := top.Source("gen", func(emit func(Element)) error {
+		n := 0
+		for i := 0; i < txns; i++ {
+			emit(Punctuation(KindBOT))
+			for j := 0; j < perTxn; j++ {
+				emit(DataElement(Tuple{
+					Key:   fmt.Sprintf("k%02d", n%keys),
+					Value: []byte(fmt.Sprintf("t%05d", i)),
+				}))
+				n++
+			}
+			if (i+1)%rollbackEvery == 0 {
+				emit(Punctuation(KindRollback))
+			} else {
+				emit(Punctuation(KindCommit))
+			}
+		}
+		return nil
+	})
+	region := src.TransactionsTuned(p, tun).Parallelize(8, nil)
+	stats := region.ToTable(p, tbl)
+	region.MergeTuned("merge", tun).Discard()
+	if err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := tun.Stats()
+	if ts.Grows == 0 || ts.Shrinks == 0 {
+		t.Fatalf("controller never oscillated (grows=%d shrinks=%d); the stress needs resizes mid-stream", ts.Grows, ts.Shrinks)
+	}
+	wantCommits := int64(txns - txns/rollbackEvery)
+	wantAborts := int64(txns / rollbackEvery)
+	if c, a := stats.Commits.Load(), stats.Aborts.Load(); c != wantCommits || a != wantAborts {
+		t.Fatalf("commits=%d aborts=%d, want %d/%d", c, a, wantCommits, wantAborts)
+	}
+	if w := stats.Writes.Load(); w != int64(txns*perTxn) {
+		t.Fatalf("writes=%d, want %d", w, txns*perTxn)
+	}
+	if committed, _ := g.CommitStats(); committed != uint64(wantCommits) {
+		t.Fatalf("group committed %d, want %d", committed, wantCommits)
+	}
+	want := map[string]string{}
+	n := 0
+	for i := 0; i < txns; i++ {
+		commit := (i+1)%rollbackEvery != 0
+		for j := 0; j < perTxn; j++ {
+			if commit {
+				want[fmt.Sprintf("k%02d", n%keys)] = fmt.Sprintf("t%05d", i)
+			}
+			n++
+		}
+	}
+	rows, err := TableSnapshot(p, tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, r := range rows {
+		got[r.Key] = string(r.Value)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("table diverged under mid-stream resizing:\n got %d keys\nwant %d keys", len(got), len(want))
+	}
+}
+
+// TestAutoTunerController unit-drives the decision logic with synthetic
+// observations: amortization that keeps improving grows the window to the
+// cap; a latency violation halves it and holds; a probe that stops paying
+// reverts with hysteresis.
+func TestAutoTunerController(t *testing.T) {
+	const settle = 4
+	a := NewAutoTuner(AutoTune{MaxWindow: 8, Settle: settle, LatencyBound: time.Second})
+	if a.Window() != 1 {
+		t.Fatalf("start window = %d, want 1", a.Window())
+	}
+	// Perfect amortization: per-batch cost constant at 1ms no matter the
+	// batch size, so per-transaction cost halves with every doubling.
+	feed := func(n int) {
+		for i := 0; i < settle; i++ {
+			a.observeBatch(n, time.Millisecond)
+		}
+	}
+	feed(1) // decision: probe to 2
+	if a.Window() != 2 {
+		t.Fatalf("after first decision window = %d, want 2 (probe)", a.Window())
+	}
+	feed(2) // probe accepted (cost halved), next decision probes again
+	feed(2) // probe to 4
+	feed(4) // accepted; probe to 8 next
+	feed(4)
+	feed(8) // accepted; at cap
+	if a.Window() != 8 {
+		t.Fatalf("window = %d after improving amortization, want cap 8", a.Window())
+	}
+	if g := a.Stats().Grows; g < 3 {
+		t.Fatalf("grows = %d, want >= 3", g)
+	}
+
+	// Latency violation: batches now take longer than the bound — halve.
+	for i := 0; i < settle; i++ {
+		a.observeBatch(8, 2*time.Second)
+	}
+	if a.Window() != 4 {
+		t.Fatalf("window = %d after latency violation, want 4", a.Window())
+	}
+	if s := a.Stats().Shrinks; s == 0 {
+		t.Fatal("latency violation recorded no shrink")
+	}
+	// Hold: the next few decisions must not probe upward again.
+	feed(4)
+	if a.Window() != 4 {
+		t.Fatalf("window = %d during hold, want 4", a.Window())
+	}
+
+	// Flat cost curve: once the hold expires, a probe that does not beat
+	// the margin must revert.
+	b := NewAutoTuner(AutoTune{MaxWindow: 8, Settle: 1, LatencyBound: time.Hour})
+	b.observeBatch(1, time.Millisecond) // probe to 2
+	if b.Window() != 2 {
+		t.Fatalf("b window = %d, want 2", b.Window())
+	}
+	b.observeBatch(2, 2*time.Millisecond) // per-txn cost flat: revert
+	if b.Window() != 1 {
+		t.Fatalf("b window = %d after flat probe, want 1 (revert)", b.Window())
+	}
+	if s := b.Stats().Shrinks; s != 1 {
+		t.Fatalf("b shrinks = %d, want 1", s)
+	}
+}
+
+// TestAutoTunerLinger: the linger follows the window and the observed
+// inter-arrival gap, clamped to [spineLinger, MaxLinger].
+func TestAutoTunerLinger(t *testing.T) {
+	a := NewAutoTuner(AutoTune{MaxWindow: 8, Settle: 1, MaxLinger: time.Millisecond, LatencyBound: time.Hour})
+	if a.linger() != spineLinger {
+		t.Fatalf("initial linger = %v, want floor %v", a.linger(), spineLinger)
+	}
+	// Window 1: the floor regardless of arrivals.
+	a.interArrival.Observe(float64(500 * time.Microsecond))
+	a.retarget()
+	if a.linger() != spineLinger {
+		t.Fatalf("linger = %v at window 1, want floor", a.linger())
+	}
+	// Window 4 with 500µs gaps wants 1.5ms — clamped to MaxLinger 1ms.
+	a.setWindow(4)
+	a.retarget()
+	if a.linger() != time.Millisecond {
+		t.Fatalf("linger = %v, want clamp at MaxLinger 1ms", a.linger())
+	}
+	// Tiny gaps: floor wins.
+	a.interArrival.Reset()
+	a.interArrival.Observe(float64(10 * time.Nanosecond))
+	for i := 0; i < 64; i++ {
+		a.interArrival.Observe(float64(10 * time.Nanosecond))
+	}
+	a.retarget()
+	if a.linger() != spineLinger {
+		t.Fatalf("linger = %v with tiny gaps, want floor %v", a.linger(), spineLinger)
+	}
+}

@@ -21,10 +21,13 @@ import (
 
 // FromTablePartitioned is the partitioned TO_STREAM linking operator with
 // the per-commit trigger policy: it subscribes to the committed changes
-// of tbl split into parts key-hash partitions (keyFn, nil selecting
-// FNV-1a of the key — the same default the ingest lanes use, so matching
-// partition and lane counts agree on key placement) and returns the
-// partitions as the lanes of a ParallelRegion.
+// of tbl split into parts key-hash partitions (keyFn is the routing
+// token, nil selecting FNV-1a of the key — the same default the ingest
+// lanes use, so matching partition and lane counts agree on key
+// placement; a custom token must set KeyFn.Key) and returns the
+// partitions as the lanes of a ParallelRegion. The region records the
+// token, so a downstream Reparallelize with the SAME token (and count)
+// fuses partition-to-lane — see KeyFn.
 //
 // Each committed transaction that wrote tbl appears on every lane as a
 // BOT punctuation, the lane's share of the changed rows as data elements,
@@ -59,12 +62,12 @@ import (
 // version array turning over) can never reclaim a version a lagging
 // partition still needs. A stalled consumer therefore pins the horizon
 // until it resumes or the feed is stopped and drained.
-func FromTablePartitioned(t *Topology, tbl *txn.Table, parts int, keyFn func(string) uint64) (*ParallelRegion, func()) {
-	feed, err := tbl.WatchPartitioned(parts, 0, keyFn)
+func FromTablePartitioned(t *Topology, tbl *txn.Table, parts int, keyFn *KeyFn) (*ParallelRegion, func()) {
+	feed, err := tbl.WatchPartitioned(parts, 0, keyFn.keyHash())
 	if err != nil {
 		panic(fmt.Sprintf("stream: FromTablePartitioned: %v", err))
 	}
-	r := &ParallelRegion{t: t, defaultKeyed: keyFn == nil || parts == 1}
+	r := &ParallelRegion{t: t, key: keyFn}
 	r.lanes = make([]*Stream, parts)
 	for i := range r.lanes {
 		lane := t.newStream()

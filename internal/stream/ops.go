@@ -151,11 +151,37 @@ func (s *Stream) TransactionsWindow(p txn.Protocol, window int, tables ...*txn.T
 	if window < 1 {
 		panic("stream: TransactionsWindow needs window >= 1")
 	}
+	return s.transactionsPipeline(p, func() int { return window }, window > 1, tables...)
+}
+
+// TransactionsTuned is TransactionsWindow with the window under control
+// of an AutoTuner instead of a constant: the bound is re-read at every
+// transaction begin, so the controller's resizes apply from the next
+// transaction on while in-flight ones are never disturbed. The
+// transactions always ride one txn.Chain (a chain of one is a plain
+// transaction), so any window the controller picks has exactly the
+// commit/abort behavior of the same static window — only batching
+// geometry moves. Pass the SAME tuner to the region's MergeTuned, which
+// closes the feedback loop. The visibility caveat of TransactionsWindow
+// applies whenever the tuner grows past 1: use on blind-write ingest
+// spines.
+func (s *Stream) TransactionsTuned(p txn.Protocol, tun *AutoTuner, tables ...*txn.Table) *Stream {
+	if tun == nil {
+		panic("stream: TransactionsTuned needs a tuner")
+	}
+	return s.transactionsPipeline(p, tun.Window, true, tables...)
+}
+
+// transactionsPipeline is the shared implementation of Transactions /
+// TransactionsWindow / TransactionsTuned: window yields the current
+// in-flight bound (constant or tuner-driven), chained attaches the
+// shared txn.Chain.
+func (s *Stream) transactionsPipeline(p txn.Protocol, window func() int, chained bool, tables ...*txn.Table) *Stream {
 	out := s.t.newStream()
 	var cur *txn.Txn
 	var inflight []*txn.Txn
 	var chain *txn.Chain
-	if window > 1 {
+	if chained {
 		chain = txn.NewChain()
 	}
 	ob := getBatch()
@@ -169,8 +195,10 @@ func (s *Stream) TransactionsWindow(p txn.Protocol, window int, tables ...*txn.T
 				// writing the same hot keys would be unboundedly many
 				// concurrent transactions; with the chain attached, the
 				// overlap within the window is conflict-exempt (see
-				// txn.Chain).
-				if len(inflight) >= window {
+				// txn.Chain). A loop, not an if: a tuner may shrink the
+				// bound below the current in-flight count, and the excess
+				// must drain before the next transaction begins.
+				for len(inflight) >= window() {
 					// Ship everything accumulated so far FIRST: the
 					// awaited transaction's COMMIT must reach the
 					// downstream coordinator, or its decision — the very

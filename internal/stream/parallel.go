@@ -53,6 +53,67 @@ func laneKey(t Tuple) uint64 {
 	return txn.DefaultKeyHash(t.Key)
 }
 
+// KeyFn is a routing-function TOKEN shared by the keyed parallel
+// constructs (Parallelize, Reparallelize, FromTablePartitioned). Two Go
+// function values can never be proven equal, so the planner treats the
+// token's POINTER as the identity of the partitioning: build one *KeyFn
+// per routing function and pass the same token everywhere that function
+// partitions — then Reparallelize can fuse two regions lane-for-lane on
+// token equality exactly as it does for the shared default (nil, which
+// selects txn.DefaultKeyHash on both the tuple and the key side).
+//
+// Tuple routes ingest-side tuples; Key partitions feed-side row keys.
+// Setting only Key derives Tuple from it over Tuple.Key (NewKeyFn), which
+// also guarantees the two sides agree on placement. Setting only Tuple
+// leaves the token unusable for FromTablePartitioned.
+type KeyFn struct {
+	// Tuple maps a tuple to its routing hash (ingest-lane routing); nil
+	// derives it from Key applied to Tuple.Key.
+	Tuple func(Tuple) uint64
+	// Key maps a row key to its hash (feed partitioning); required when
+	// the token is used with FromTablePartitioned.
+	Key func(string) uint64
+}
+
+// NewKeyFn builds a routing token from one key-string hash, usable on
+// both the ingest side (tuples route by Tuple.Key) and the feed side —
+// the construction that makes same-token fusion across the table seam
+// sound by definition.
+func NewKeyFn(key func(string) uint64) *KeyFn {
+	return &KeyFn{
+		Key:   key,
+		Tuple: func(t Tuple) uint64 { return key(t.Key) },
+	}
+}
+
+// tupleFn resolves the ingest-side routing function (nil token or fields
+// selects the default lane hash).
+func (k *KeyFn) tupleFn() func(Tuple) uint64 {
+	switch {
+	case k == nil:
+		return laneKey
+	case k.Tuple != nil:
+		return k.Tuple
+	case k.Key != nil:
+		kf := k.Key
+		return func(t Tuple) uint64 { return kf(t.Key) }
+	default:
+		return laneKey
+	}
+}
+
+// keyHash resolves the feed-side partitioning function (nil token selects
+// txn.DefaultKeyHash downstream).
+func (k *KeyFn) keyHash() func(string) uint64 {
+	if k == nil {
+		return nil
+	}
+	if k.Key == nil {
+		panic("stream: KeyFn used for feed partitioning must set Key")
+	}
+	return k.Key
+}
+
 // ParallelRegion is a parallel section of a topology: P keyed lanes
 // between a Parallelize router and a Merge barrier. Build the per-lane
 // pipeline with Apply and ToTable, then close the region with Merge or
@@ -68,31 +129,31 @@ type ParallelRegion struct {
 	// ToTable registration (regs mirrors them one to one).
 	actions []func(Element)
 	regs    []laneCommitReg
-	// defaultKeyed records that routing used the default key hash (or
-	// that the region has a single lane), which is what makes direct
+	// key is the routing token the region was partitioned with (nil = the
+	// default key hash). Token identity is what makes direct
 	// partition→lane fusion verifiable — see Reparallelize.
-	defaultKeyed bool
-	merged       bool
+	key    *KeyFn
+	merged bool
 }
 
 // Parallelize hash-routes the stream's data elements into p keyed lanes
-// and broadcasts punctuations to all of them. keyFn maps a tuple to its
-// routing hash (nil selects FNV-1a of Tuple.Key); tuples with equal hash
-// share a lane, so state updates of one key stay ordered. p == 1 is the
-// identity: the stream itself becomes the single lane and no router
-// goroutine is spawned.
-func (s *Stream) Parallelize(p int, keyFn func(Tuple) uint64) *ParallelRegion {
+// and broadcasts punctuations to all of them. keyFn is the routing token
+// (nil selects FNV-1a of Tuple.Key); tuples with equal hash share a lane,
+// so state updates of one key stay ordered. Pass the SAME token to every
+// construct partitioning by the same function — token identity is what
+// lets Reparallelize fuse regions (see KeyFn). p == 1 is the identity:
+// the stream itself becomes the single lane and no router goroutine is
+// spawned.
+func (s *Stream) Parallelize(p int, keyFn *KeyFn) *ParallelRegion {
 	if p < 1 {
 		panic("stream: Parallelize needs p >= 1")
 	}
-	r := &ParallelRegion{t: s.t, defaultKeyed: keyFn == nil || p == 1}
+	r := &ParallelRegion{t: s.t, key: keyFn}
 	if p == 1 {
 		r.lanes = []*Stream{s}
 		return r
 	}
-	if keyFn == nil {
-		keyFn = laneKey
-	}
+	route := keyFn.tupleFn()
 	r.lanes = make([]*Stream, p)
 	for i := range r.lanes {
 		r.lanes[i] = s.t.newStream()
@@ -110,7 +171,7 @@ func (s *Stream) Parallelize(p int, keyFn func(Tuple) uint64) *ParallelRegion {
 	s.consume("parallelize", func(b []Element) {
 		for _, e := range b {
 			if e.Kind == KindData {
-				i := int(keyFn(e.Tuple) % uint64(p))
+				i := int(route(e.Tuple) % uint64(p))
 				if pend[i] == nil {
 					pend[i] = getBatch()
 				}
@@ -175,32 +236,35 @@ func (r *ParallelRegion) Apply(fn func(lane int, s *Stream) *Stream) *ParallelRe
 // Reparallelize is the region planner's seam between two parallel
 // sections: it re-partitions the region into p keyed lanes for a
 // downstream consumer chain. When the partitioning provably matches —
-// p equals the region's lane count and both sides use the DEFAULT key
-// hash (txn.DefaultKeyHash, which Parallelize and FromTablePartitioned
-// share) — partition i is wired directly into lane i: no Merge goroutine,
-// no re-hash, no channel hop; the two regions become one, with a single
-// barrier (the downstream Merge/MergeBatched) re-serializing punctuations
-// exactly once for the combined span. A single-lane region fuses with a
-// single-lane request regardless of hash (there is nothing to route).
+// p equals the region's lane count and the requested routing token IS the
+// region's token (both nil selects the shared default,
+// txn.DefaultKeyHash; a custom *KeyFn proves equality by pointer
+// identity, see KeyFn) — partition i is wired directly into lane i: no
+// Merge goroutine, no re-hash, no channel hop; the two regions become
+// one, with a single barrier (the downstream Merge/MergeBatched)
+// re-serializing punctuations exactly once for the combined span. A
+// single-lane region fuses with a single-lane request regardless of token
+// (there is nothing to route).
 //
-// When the counts differ or a custom keyFn is involved, the region is
-// closed with a Merge barrier and re-routed through a fresh Parallelize —
-// correct, just not fused (two custom keyFns cannot be proven equal).
-// Either way the caller continues on the returned region and must close
-// it with Merge or MergeBatched.
-func (r *ParallelRegion) Reparallelize(name string, p int, keyFn func(Tuple) uint64) *ParallelRegion {
+// When the counts differ or the tokens do (two DIFFERENT tokens may wrap
+// the same function — equality of Go functions is unprovable, which is
+// why the token exists), the region is closed with a Merge barrier and
+// re-routed through a fresh Parallelize — correct, just not fused. Either
+// way the caller continues on the returned region and must close it with
+// Merge or MergeBatched.
+func (r *ParallelRegion) Reparallelize(name string, p int, keyFn *KeyFn) *ParallelRegion {
 	r.checkOpen("Reparallelize")
 	if p < 1 {
 		panic("stream: Reparallelize needs p >= 1")
 	}
-	if p == len(r.lanes) && keyFn == nil && r.defaultKeyed {
+	if p == len(r.lanes) && (p == 1 || keyFn == r.key) {
 		r.merged = true
 		return &ParallelRegion{
-			t:            r.t,
-			lanes:        r.lanes,
-			actions:      r.actions,
-			regs:         r.regs,
-			defaultKeyed: true,
+			t:       r.t,
+			lanes:   r.lanes,
+			actions: r.actions,
+			regs:    r.regs,
+			key:     r.key,
 		}
 	}
 	return r.Merge(name).Parallelize(p, keyFn)
@@ -503,16 +567,40 @@ func (r *ParallelRegion) MergeBatched(name string, maxBatch int) *Stream {
 	if maxBatch < 1 {
 		panic("stream: MergeBatched needs maxBatch >= 1")
 	}
+	sp := newCommitSpine(r.t, name, r.spineRegs("MergeBatched"), maxBatch)
+	return r.close(name, sp.enqueue, sp)
+}
+
+// MergeTuned closes the region like MergeBatched but puts the spine's
+// batching geometry under an AutoTuner: the batch ceiling is the tuner's
+// current window (bounded by its MaxWindow), the linger follows the
+// tuner's inter-arrival estimate, and every clean commit run is timed
+// and fed back to the controller. Pair it with a TransactionsTuned
+// upstream sharing the SAME tuner — the window bound and the batch
+// ceiling then move together, which is the whole feedback loop. All
+// other MergeBatched contracts (framing, early COMMIT emission, ToTable/
+// one-protocol requirements) apply unchanged.
+func (r *ParallelRegion) MergeTuned(name string, tun *AutoTuner) *Stream {
+	if tun == nil {
+		panic("stream: MergeTuned needs a tuner")
+	}
+	sp := newCommitSpine(r.t, name, r.spineRegs("MergeTuned"), tun.cfg.MaxWindow)
+	sp.tun = tun
+	return r.close(name, sp.enqueue, sp)
+}
+
+// spineRegs validates the region's commit actions for a batched close
+// and returns the ToTable registrations the spine works off.
+func (r *ParallelRegion) spineRegs(op string) []laneCommitReg {
 	if len(r.regs) != len(r.actions) {
-		panic("stream: MergeBatched requires all region commit actions to come from ToTable")
+		panic("stream: " + op + " requires all region commit actions to come from ToTable")
 	}
 	for _, reg := range r.regs[1:] {
 		if reg.p != r.regs[0].p {
-			panic("stream: MergeBatched requires all region ToTable calls to share one protocol")
+			panic("stream: " + op + " requires all region ToTable calls to share one protocol")
 		}
 	}
-	sp := newCommitSpine(r.t, name, r.regs, maxBatch)
-	return r.close(name, sp.enqueue, sp)
+	return r.regs
 }
 
 // close implements Merge/MergeBatched: lane collectors, the punctuation
@@ -583,7 +671,12 @@ type commitSpine struct {
 	tbls     []*txn.Table
 	cc       txn.ChainCommitter
 	maxBatch int
-	q        chan spineEntry
+	// tun, when set (MergeTuned), overrides the static batching geometry:
+	// the collection target is capped at the tuner's current window, the
+	// linger follows the tuner, and every clean commit run is timed and
+	// fed back as a controller observation.
+	tun *AutoTuner
+	q   chan spineEntry
 }
 
 // spineEntry is one decided transaction awaiting its commit work.
@@ -618,6 +711,9 @@ func (sp *commitSpine) enqueue(e Element) {
 	if e.Tx == nil {
 		return
 	}
+	if sp.tun != nil {
+		sp.tun.noteEnqueue(len(sp.q))
+	}
 	sp.q <- spineEntry{kind: e.Kind, tx: e.Tx}
 }
 
@@ -642,10 +738,23 @@ func (sp *commitSpine) run() {
 		if !ok {
 			return
 		}
+		// ceil is the batch ceiling of this iteration: the static maxBatch,
+		// tightened to the tuner's current window under MergeTuned so the
+		// spine's geometry tracks the controller.
+		ceil, linger := sp.maxBatch, spineLinger
+		if sp.tun != nil {
+			if w := sp.tun.Window(); w < ceil {
+				ceil = w
+			}
+			linger = sp.tun.linger()
+		}
+		if target > ceil {
+			target = ceil
+		}
 		pend = append(pend[:0], e)
 		closed := false
 		if target > 1 {
-			timer := time.NewTimer(spineLinger)
+			timer := time.NewTimer(linger)
 		collect:
 			for len(pend) < target {
 				select {
@@ -668,7 +777,7 @@ func (sp *commitSpine) run() {
 		}
 		// Opportunistically take whatever else is already queued.
 	drain:
-		for !closed && len(pend) < sp.maxBatch {
+		for !closed && len(pend) < ceil {
 			select {
 			case e2, ok := <-sp.q:
 				if !ok {
@@ -680,8 +789,8 @@ func (sp *commitSpine) run() {
 			}
 		}
 		target = len(pend)
-		if target > sp.maxBatch {
-			target = sp.maxBatch
+		if target > ceil {
+			target = ceil
 		}
 		sp.process(pend)
 		if closed {
@@ -730,6 +839,10 @@ func (sp *commitSpine) anyPoisoned(tx *txn.Txn) bool {
 // a commit, an abort-family error an abort, anything else a topology
 // failure.
 func (sp *commitSpine) commitRun(run []spineEntry) {
+	var start time.Time
+	if sp.tun != nil {
+		start = time.Now()
+	}
 	if sp.cc != nil && len(run) > 0 {
 		txs := make([]*txn.Txn, len(run))
 		for i := range run {
@@ -741,12 +854,17 @@ func (sp *commitSpine) commitRun(run []spineEntry) {
 				sp.account(reg, errsPerTx[i][j])
 			}
 		}
-		return
-	}
-	for _, e := range run {
-		for _, reg := range sp.regs {
-			sp.account(reg, reg.p.CommitState(e.tx, reg.tbl))
+	} else {
+		for _, e := range run {
+			for _, reg := range sp.regs {
+				sp.account(reg, reg.p.CommitState(e.tx, reg.tbl))
+			}
 		}
+	}
+	if sp.tun != nil {
+		// Only clean runs are observations: rollbacks and poisoned commits
+		// (handled by single) measure fault handling, not batching.
+		sp.tun.observeBatch(len(run), time.Since(start))
 	}
 }
 

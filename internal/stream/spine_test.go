@@ -371,6 +371,96 @@ func TestReparallelizeFusedSharesLanes(t *testing.T) {
 	}
 }
 
+// TestReparallelizeSharedTokenFuses pins the KeyFn-token planner rule:
+// regions partitioned with the SAME *KeyFn fuse lane-for-lane just like
+// default-keyed ones; a different token wrapping the very same function —
+// unprovably equal — takes the merge + re-route fallback, and keyed
+// routing under the custom hash still holds either way.
+func TestReparallelizeSharedTokenFuses(t *testing.T) {
+	e := newParallelEnv(t)
+	hash := func(key string) uint64 {
+		if len(key) == 0 {
+			return 0
+		}
+		return uint64(key[len(key)-1]) // routes by trailing byte
+	}
+	tok := NewKeyFn(hash)
+
+	top := New("tokfuse")
+	src := top.Source("gen", func(emit func(Element)) error {
+		for i := 0; i < 500; i++ {
+			emit(DataElement(Tuple{Key: fmt.Sprintf("k%d", i%13), Value: []byte(fmt.Sprintf("v%d", i))}))
+		}
+		return nil
+	})
+	r1 := src.Punctuate(25).Transactions(e.p).Parallelize(4, tok)
+	lanesBefore := append([]*Stream(nil), r1.lanes...)
+	r2 := r1.Reparallelize("repart", 4, tok)
+	for i := range r2.lanes {
+		if r2.lanes[i] != lanesBefore[i] {
+			t.Fatalf("lane %d was re-routed; same-token regions must fuse", i)
+		}
+	}
+	// Routing under the custom hash: every key owned by exactly one lane.
+	laneOf := make([]map[string]int, 4)
+	r2.Apply(func(lane int, s *Stream) *Stream {
+		seen := map[string]int{}
+		laneOf[lane] = seen
+		return s.Map("observe", func(tp Tuple) Tuple {
+			seen[tp.Key]++
+			return tp
+		})
+	})
+	stats := r2.ToTable(e.p, e.t1)
+	r2.Merge("merge").Discard()
+	if err := top.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Writes.Load() != 500 || stats.Aborts.Load() != 0 {
+		t.Fatalf("fused token region: writes=%d aborts=%d", stats.Writes.Load(), stats.Aborts.Load())
+	}
+	for k := 0; k < 13; k++ {
+		key := fmt.Sprintf("k%d", k)
+		owner := -1
+		for lane := range laneOf {
+			if laneOf[lane][key] > 0 {
+				if owner != -1 {
+					t.Fatalf("key %s on lanes %d and %d", key, owner, lane)
+				}
+				owner = lane
+			}
+		}
+		if owner != int(hash(key)%4) {
+			t.Fatalf("key %s on lane %d, want %d (custom hash routing)", key, owner, int(hash(key)%4))
+		}
+	}
+
+	// Control: a DISTINCT token over the identical function must NOT fuse.
+	top2 := New("tokfall")
+	e2 := newParallelEnv(t)
+	src2 := top2.Source("gen", func(emit func(Element)) error {
+		emit(DataElement(Tuple{Key: "k1", Value: []byte("v")}))
+		return nil
+	})
+	o1 := src2.Punctuate(1).Transactions(e2.p).Parallelize(2, tok)
+	lanes1 := append([]*Stream(nil), o1.lanes...)
+	o2 := o1.Reparallelize("repart", 2, NewKeyFn(hash))
+	same := 0
+	for i := range o2.lanes {
+		if i < len(lanes1) && o2.lanes[i] == lanes1[i] {
+			same++
+		}
+	}
+	if same == len(lanes1) {
+		t.Fatal("distinct tokens fused; token identity, not function identity, must gate fusion")
+	}
+	o2.ToTable(e2.p, e2.t1)
+	o2.Merge("merge").Discard()
+	if err := top2.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestReparallelizeFallbackReroutes: mismatched counts cannot fuse; the
 // planner inserts a merge barrier and a fresh router, and keyed routing
 // still holds in the downstream region.

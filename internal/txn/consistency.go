@@ -683,6 +683,7 @@ func (p *protocolBase) leadGroup(g *Group) {
 //     makes every member transaction visible, completely or not at all —
 //     then notify watchers per transaction in commit order.
 func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
+	tenureStart := time.Now()
 	horizon := p.ctx.OldestActiveVersion()
 	n := uint64(len(batch))
 	base := p.ctx.counter.Add(n) - n
@@ -726,6 +727,7 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	if len(admitted) == 0 {
 		return
 	}
+	admitDone := time.Now()
 
 	// Phase 3: durability, one coalesced batch per distinct base store.
 	// The scratch batches (ops array, row-key arena) are cached on the
@@ -791,6 +793,8 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 			return
 		}
 	}
+	syncDone := time.Now()
+	g.syncHist.Record(syncDone.Sub(admitDone).Nanoseconds())
 
 	// Phase 4: in-memory version install, ascending commit timestamps.
 	// Admission already resolved most objects (op.obj); only keys created
@@ -815,6 +819,17 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	g.lastCTS.Store(maxCTS)
 	g.commitTxns.Add(uint64(len(admitted)))
 	g.commitBatches.Add(1)
+	// Install latency excludes the durability Apply — it is the in-memory
+	// half of the batch (admission + version install + publish). Watcher
+	// notifications are excluded too: they run downstream consumers'
+	// code and can block on feed backpressure, which is occupancy, not
+	// commit cost.
+	g.installHist.Record(admitDone.Sub(tenureStart).Nanoseconds() + time.Since(syncDone).Nanoseconds())
+	g.batchEWMA.Observe(float64(len(admitted)))
+	nowNs := syncDone.UnixNano()
+	for _, tbl := range tables {
+		tbl.lastCommitNanos.Store(nowNs)
+	}
 	for _, req := range admitted {
 		var writes map[StateID][]string
 		for _, e := range req.entries {
@@ -864,6 +879,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 		}
 	}
 
+	tenureStart := time.Now()
 	entries := sortedEntries(tx)
 	horizon := p.ctx.OldestActiveVersion()
 
@@ -902,6 +918,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			sb.sync = true
 		}
 	}
+	applyStart := time.Now()
 	for _, sb := range batches {
 		if err := sb.store.Apply(sb.batch, sb.sync); err != nil {
 			// No version was installed yet, so aborting here is clean in
@@ -912,6 +929,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			return fmt.Errorf("txn: commit durability: %w", err)
 		}
 	}
+	syncDone := time.Now()
 
 	// In-memory version install.
 	for _, e := range entries {
@@ -923,13 +941,21 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 		}
 	}
 
-	// Atomic visibility, then commit watchers per group.
+	// Atomic visibility, then commit watchers per group. The slow path is
+	// a batch of one: each involved group records the same durability and
+	// install latencies under its own profile.
+	syncNs := syncDone.Sub(applyStart).Nanoseconds()
+	installNs := applyStart.Sub(tenureStart).Nanoseconds() + time.Since(syncDone).Nanoseconds()
 	retained := false
 	for _, g := range groups {
 		g.lastCTS.Store(cts)
 		g.commitTxns.Add(1)
 		g.commitBatches.Add(1)
+		g.syncHist.Record(syncNs)
+		g.installHist.Record(installNs)
+		g.batchEWMA.Observe(1)
 	}
+	nowNs := syncDone.UnixNano()
 	for _, g := range groups {
 		var writes map[StateID][]string
 		for _, e := range entries {
@@ -937,6 +963,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 				continue
 			}
 			e.table.commitsSinceGC.Add(1)
+			e.table.lastCommitNanos.Store(nowNs)
 			if writes == nil {
 				writes = make(map[StateID][]string)
 			}

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"sistream/internal/kv"
+	"sistream/internal/metrics"
 )
 
 // maxActiveTxns bounds the active-transaction table. The paper manages
@@ -255,6 +256,17 @@ type Group struct {
 	commitTxns    atomic.Uint64
 	commitBatches atomic.Uint64
 
+	// Commit-profile instrumentation (CommitProfile): per-batch latency of
+	// the durability phase (the store Apply — the fsync when SyncCommits is
+	// set) and of the in-memory admission+install work around it, plus an
+	// EWMA of achieved batch sizes. Recording is a handful of atomic adds
+	// per BATCH (not per transaction), cheap enough to leave always on;
+	// the adaptive spine controller (stream.AutoTune) reads it to decide
+	// whether growing the commit window still buys fsync amortization.
+	syncHist    metrics.Histogram
+	installHist metrics.Histogram
+	batchEWMA   metrics.EWMA
+
 	// watchers are commit listeners (TO_STREAM trigger policy
 	// "per transaction commit"); they run synchronously right after
 	// LastCTS is published, still under the commit latch, so they must
@@ -268,6 +280,38 @@ type Group struct {
 // them; txns/batches is the achieved commit fan-in (1.0 = no batching).
 func (g *Group) CommitStats() (txns, batches uint64) {
 	return g.commitTxns.Load(), g.commitBatches.Load()
+}
+
+// CommitProfile is a point-in-time digest of the group-commit pipeline's
+// observed behavior (Group.CommitProfile), the signal set the adaptive
+// spine controller feeds on. All latencies are per BATCH, in nanoseconds.
+type CommitProfile struct {
+	// Txns / Batches mirror CommitStats; Txns/Batches is the achieved
+	// cross-transaction commit fan-in.
+	Txns, Batches uint64
+	// BatchSizeEWMA is the exponentially weighted average of recent batch
+	// sizes — unlike the lifetime ratio above, it tracks the CURRENT
+	// batching regime.
+	BatchSizeEWMA float64
+	// Sync summarizes the durability phase per batch: the coalesced store
+	// Apply, which is the fsync when the table opts into SyncCommits.
+	Sync metrics.Summary
+	// Install summarizes the non-durability commit work per batch:
+	// admission, version install and visibility publish.
+	Install metrics.Summary
+}
+
+// CommitProfile snapshots the group's commit-pipeline instrumentation:
+// lifetime fan-in counters, the recent batch-size EWMA, and per-batch
+// durability (fsync) and install latency summaries.
+func (g *Group) CommitProfile() CommitProfile {
+	return CommitProfile{
+		Txns:          g.commitTxns.Load(),
+		Batches:       g.commitBatches.Load(),
+		BatchSizeEWMA: g.batchEWMA.Value(),
+		Sync:          g.syncHist.Snapshot(),
+		Install:       g.installHist.Snapshot(),
+	}
 }
 
 // CommitWatcher observes global commits of a group: the commit timestamp
@@ -366,6 +410,11 @@ func (c *Context) CreateGroup(id GroupID, tables ...*Table) (*Group, error) {
 				return nil, fmt.Errorf("txn: load state %q: %w", t.id, err)
 			}
 		}
+	}
+	// A grouped table can commit, so this is where its opt-in idle sweeper
+	// (TableOptions.GCIdleInterval) comes alive.
+	for _, t := range tables {
+		t.startIdleGC()
 	}
 	return g, nil
 }

@@ -49,6 +49,15 @@ type (
 	// GCTableStats reports a table's explicit sweep activity: runs,
 	// reclaimed version slots and swept shards (Table.GCStats).
 	GCTableStats = txn.GCTableStats
+	// FeedOptions configures a partitioned change feed beyond the
+	// partition count: buffer depth, routing hash, and the opt-in
+	// newest-wins coalescing (changelog) delivery mode that never pins
+	// the GC horizon (Table.WatchPartitionedOpts).
+	FeedOptions = txn.FeedOptions
+	// CommitProfile is a topology group's observed commit-path profile:
+	// per-batch sync and install latency summaries plus the batch-size
+	// EWMA the group-commit leader records (Group.CommitProfile).
+	CommitProfile = txn.CommitProfile
 )
 
 // DefaultFeedBuf is the default commit buffer of change feeds (ToStream,
@@ -78,6 +87,22 @@ type (
 	TableKey = stream.TableKey
 	// KV is one row of a snapshot query result.
 	KV = stream.KV
+	// KeyFn is a shareable partitioning token: passing the SAME *KeyFn to
+	// Parallelize / Reparallelize / FromTablePartitioned proves the stages
+	// agree on key placement, which lets Reparallelize fuse lane-for-lane
+	// instead of inserting a merge barrier and a fresh router.
+	KeyFn = stream.KeyFn
+	// AutoTune configures the self-tuning commit spine (NewAutoTuner):
+	// window bound, per-batch latency ceiling, linger cap and decision
+	// cadence. The zero value of every field selects its default.
+	AutoTune = stream.AutoTune
+	// AutoTuner is the controller of one self-tuning pipeline: pass it to
+	// both Stream.TransactionsTuned and ParallelRegion.MergeTuned; it
+	// sizes the commit window and linger from observed commit latency.
+	AutoTuner = stream.AutoTuner
+	// AutoTunerStats is a point-in-time controller snapshot
+	// (AutoTuner.Stats): current window/linger and resize counts.
+	AutoTunerStats = stream.AutoTunerStats
 )
 
 // Base tables.
@@ -134,6 +159,12 @@ var (
 	DataElement = stream.DataElement
 	// Punctuation constructs a control element.
 	Punctuation = stream.Punctuation
+	// NewKeyFn builds a shareable partitioning token from one key-string
+	// hash, usable on both the ingest side and the feed side.
+	NewKeyFn = stream.NewKeyFn
+	// NewAutoTuner creates the self-tuning commit-spine controller,
+	// starting at window 1 (no batching until measurements justify it).
+	NewAutoTuner = stream.NewAutoTuner
 
 	// NewMemStore creates a volatile in-memory base table.
 	NewMemStore = func() Store { return kv.NewMem() }
