@@ -15,6 +15,10 @@
 //	sibench -ingest -lanes 4 -window auto  # ... with the self-tuning spine
 //	sibench -ingest -json                # ... as one JSON object
 //	sibench -ingest -lanesweep -json     # lanes 1,2,4,8 as a JSON array
+//	sibench -faults                      # fault-injection smoke: sticky sync
+//	                                     # failure mid-run; time-to-fail-stop,
+//	                                     # no post-failure commit acked
+//	sibench -faults -failat 100          # ... failing the 100th fsync
 //	sibench -feed                        # table→stream feed rate, sequential watcher
 //	sibench -feed -partitions 4          # ... through a 4-way partitioned feed
 //	sibench -feed -partsweep -json       # seq,1,2,4,8 partitions as a JSON array
@@ -52,6 +56,8 @@ func main() {
 		cell      = flag.Bool("cell", false, "run a single cell with the flags below")
 		scaling   = flag.Bool("scaling", false, "sweep concurrent writers to show group-commit scaling")
 		ingest    = flag.Bool("ingest", false, "run the single-writer dataflow ingest benchmark")
+		faults    = flag.Bool("faults", false, "run the fault-injection smoke mode: ingest over a fault store, sticky sync failure mid-run; reports time-to-fail-stop and verifies no post-failure commit is acked")
+		failAt    = flag.Int("failat", 0, "faults: durability point (sync) to fail at (0 = halfway)")
 		elements  = flag.Int("elements", 1_000_000, "ingest: data elements pushed through the pipeline")
 		every     = flag.Int("commitevery", 100, "ingest: tuples per transaction (punctuation interval)")
 		keys      = flag.Int("keys", 100_000, "ingest: distinct keys cycled through")
@@ -140,6 +146,12 @@ func main() {
 	freshDir := func() string { return dirFor("", 0) }
 
 	switch {
+	case *faults:
+		res, err := bench.RunFaults(bench.FaultsConfig{Ingest: icfg, FailAtSync: *failAt})
+		if err != nil {
+			fatal(err)
+		}
+		bench.PrintFaults(os.Stdout, res)
 	case *benchJSON:
 		runBenchJSON(icfg, freshDir)
 	case *adaptive:

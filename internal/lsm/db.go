@@ -1,12 +1,29 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"sistream/internal/kv"
 )
+
+// ErrDBFailed is the sticky fail-stop error of a failed DB: after any
+// WAL, flush, manifest, compaction or sync error the durable state is
+// unknowable, so every subsequent write returns an error wrapping this
+// sentinel (and the original cause) while reads keep serving — graceful
+// degradation to read-only until the process restarts and recovery
+// rebuilds from what actually reached disk.
+var ErrDBFailed = errors.New("lsm: db failed (fail-stop)")
+
+// dbFailure records the first fatal error; wrapped is precomputed so the
+// hot-path health check stays allocation-free.
+type dbFailure struct {
+	cause   error
+	wrapped error
+}
 
 // Options configures a DB. The zero value is usable; unset fields take the
 // defaults below.
@@ -86,6 +103,11 @@ type DB struct {
 	manifestNum uint64
 	compactPtr  [numLevels][]byte
 	closed      bool
+
+	// failure, when non-nil, is the sticky fail-stop record: a write-path
+	// error of unknowable durable effect happened and the DB refuses all
+	// further writes (see ErrDBFailed). Set once via CAS; never cleared.
+	failure atomic.Pointer[dbFailure]
 
 	// cache is the shared data-block LRU (nil when disabled).
 	cache *blockCache
@@ -299,6 +321,39 @@ func (d *DB) checkOpen() error {
 	return nil
 }
 
+// Err reports the DB's sticky fail-stop state: nil while healthy,
+// otherwise an error wrapping both ErrDBFailed and the original cause.
+// Once non-nil it never clears; reads keep serving, writes are refused.
+func (d *DB) Err() error {
+	if f := d.failure.Load(); f != nil {
+		return f.wrapped
+	}
+	return nil
+}
+
+// fail latches err as the DB's fail-stop cause (first error wins) and
+// returns it unchanged, so the failing operation surfaces the real error
+// while every later write gets the wrapped sticky one.
+func (d *DB) fail(err error) error {
+	d.failure.CompareAndSwap(nil, &dbFailure{
+		cause:   err,
+		wrapped: fmt.Errorf("%w: %w", ErrDBFailed, err),
+	})
+	return err
+}
+
+// checkWrite gates the write path: closed beats failed, failed beats
+// everything else.
+func (d *DB) checkWrite() error {
+	d.mu.RLock()
+	err := d.checkOpen()
+	d.mu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return d.Err()
+}
+
 // Get implements kv.Store.
 func (d *DB) Get(key []byte) ([]byte, bool, error) {
 	d.mu.RLock()
@@ -350,10 +405,7 @@ func (d *DB) Apply(b *kv.Batch, sync bool) error {
 	d.writeMu.Lock()
 	defer d.writeMu.Unlock()
 
-	d.mu.RLock()
-	err := d.checkOpen()
-	d.mu.RUnlock()
-	if err != nil {
+	if err := d.checkWrite(); err != nil {
 		return err
 	}
 
@@ -367,7 +419,10 @@ func (d *DB) Apply(b *kv.Batch, sync bool) error {
 	}
 	payload := encodeBatchPayload(nil, ops)
 	if err := d.wal.append(payload, sync); err != nil {
-		return err
+		// Fail-stop: the WAL's durable contents are now unknown (the
+		// writer's sticky error, see walWriter); no later write may
+		// report success on top of it.
+		return d.fail(err)
 	}
 
 	d.mu.Lock()
@@ -379,11 +434,11 @@ func (d *DB) Apply(b *kv.Batch, sync bool) error {
 
 	if full {
 		if err := d.flushLocked(); err != nil {
-			return err
+			return d.fail(err)
 		}
 		if !d.opts.DisableAutoCompaction {
 			if err := d.maybeCompact(); err != nil {
-				return err
+				return d.fail(err)
 			}
 		}
 	}
@@ -471,11 +526,16 @@ func (d *DB) maybeCompact() error {
 func (d *DB) Flush() error {
 	d.writeMu.Lock()
 	defer d.writeMu.Unlock()
-	if err := d.flushLocked(); err != nil {
+	if err := d.checkWrite(); err != nil {
 		return err
 	}
+	if err := d.flushLocked(); err != nil {
+		return d.fail(err)
+	}
 	if !d.opts.DisableAutoCompaction {
-		return d.maybeCompact()
+		if err := d.maybeCompact(); err != nil {
+			return d.fail(err)
+		}
 	}
 	return nil
 }
@@ -487,8 +547,11 @@ func (d *DB) Flush() error {
 func (d *DB) Compact() error {
 	d.writeMu.Lock()
 	defer d.writeMu.Unlock()
-	if err := d.flushLocked(); err != nil {
+	if err := d.checkWrite(); err != nil {
 		return err
+	}
+	if err := d.flushLocked(); err != nil {
+		return d.fail(err)
 	}
 	for level := 0; level < numLevels-1; level++ {
 		for {
@@ -507,7 +570,7 @@ func (d *DB) Compact() error {
 				break
 			}
 			if err := d.compact(level); err != nil {
-				return err
+				return d.fail(err)
 			}
 			d.mu.Lock()
 			d.compactions++
@@ -559,16 +622,22 @@ func (d *DB) Scan(start, end []byte, fn func(key, value []byte) bool) error {
 	return nil
 }
 
-// Sync implements kv.Store: it fsyncs the active WAL.
+// Sync implements kv.Store: it fsyncs the active WAL. A sync failure is
+// fail-stop (see ErrDBFailed) — the kernel may drop dirty pages after
+// reporting it, so retrying could silently lose acknowledged writes.
 func (d *DB) Sync() error {
 	d.writeMu.Lock()
 	defer d.writeMu.Unlock()
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if err := d.checkOpen(); err != nil {
+	if err := d.checkWrite(); err != nil {
 		return err
 	}
-	return d.wal.f.Sync()
+	d.mu.RLock()
+	w := d.wal
+	d.mu.RUnlock()
+	if err := w.sync(); err != nil {
+		return d.fail(err)
+	}
+	return nil
 }
 
 // Close implements kv.Store. It does NOT flush the memtable: unflushed but

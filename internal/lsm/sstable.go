@@ -12,10 +12,11 @@ import (
 
 // SSTable file format (all integers little-endian):
 //
-//	data block 0
-//	data block 1
+//	data block 0        followed by 4-byte CRC-32C of the block
+//	data block 1        followed by 4-byte CRC-32C of the block
 //	...
-//	filter block        serialized bloom filter over all user keys
+//	filter block        serialized bloom filter over all user keys,
+//	                    followed by 4-byte CRC-32C of the block
 //	index block         one entry per data block:
 //	                      varint len(firstKey), firstKey,
 //	                      uvarint offset, uvarint length
@@ -27,6 +28,12 @@ import (
 //	      8  entry count
 //	      4  CRC-32C of the index block
 //	      4  magic (0x5354424C "STBL")
+//
+// Index entries record the offset and length of the block PAYLOAD; the
+// trailing CRC is read alongside and verified on every block fetch, so a
+// flipped bit in a data block surfaces as errCorrupt instead of a wrong
+// answer. The footer carries the index's own CRC; the magic doubles as a
+// truncation check.
 //
 // Each data block is a sequence of entries:
 //
@@ -42,6 +49,9 @@ const (
 	sstMagic        = 0x5354424c
 	footerSize      = 40
 	defaultBlockLen = 4096
+	// blockTrailerLen is the per-block CRC-32C trailer appended after every
+	// data and filter block.
+	blockTrailerLen = 4
 )
 
 // tableBuilder writes one SSTable to disk.
@@ -113,12 +123,26 @@ func (b *tableBuilder) flushBlock() {
 	b.indexKeys = append(b.indexKeys, append([]byte(nil), b.blockFirst...))
 	b.indexOffs = append(b.indexOffs, b.offset)
 	b.indexLens = append(b.indexLens, uint32(len(b.block)))
-	if _, err := b.w.Write(b.block); err != nil {
+	if err := b.writeChecksummed(b.block); err != nil {
 		b.err = err
 		return
 	}
-	b.offset += uint64(len(b.block))
 	b.block = b.block[:0]
+}
+
+// writeChecksummed writes block followed by its CRC-32C trailer and
+// advances the offset past both.
+func (b *tableBuilder) writeChecksummed(block []byte) error {
+	if _, err := b.w.Write(block); err != nil {
+		return err
+	}
+	var crc [blockTrailerLen]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(block, crcTable))
+	if _, err := b.w.Write(crc[:]); err != nil {
+		return err
+	}
+	b.offset += uint64(len(block)) + blockTrailerLen
+	return nil
 }
 
 // finish flushes remaining data, writes filter, index and footer, and
@@ -129,14 +153,15 @@ func (b *tableBuilder) finish() (count uint64, smallest, largest []byte, size ui
 		b.abandon()
 		return 0, nil, nil, 0, b.err
 	}
-	// Filter block.
+	// Filter block (checksummed like data blocks: a corrupt filter would
+	// silently turn present keys into bloom misses — data loss, not just a
+	// slow path).
 	filter := buildBloom(b.hashes, bloomBitsPerKey).marshal()
 	filterOff := b.offset
-	if _, err := b.w.Write(filter); err != nil {
+	if err := b.writeChecksummed(filter); err != nil {
 		b.abandon()
 		return 0, nil, nil, 0, err
 	}
-	b.offset += uint64(len(filter))
 	// Index block.
 	var index []byte
 	for i := range b.indexKeys {
@@ -243,11 +268,16 @@ func openTable(path string, num uint64, cache *blockCache) (*tableReader, error)
 		f.Close()
 		return nil, fmt.Errorf("%w: %s index checksum", errCorrupt, path)
 	}
-	filterBuf := make([]byte, filterLen)
+	filterBuf := make([]byte, filterLen+blockTrailerLen)
 	if _, err := f.ReadAt(filterBuf, int64(filterOff)); err != nil {
 		f.Close()
 		return nil, err
 	}
+	if crc32.Checksum(filterBuf[:filterLen], crcTable) != binary.LittleEndian.Uint32(filterBuf[filterLen:]) {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s filter checksum", errCorrupt, path)
+	}
+	filterBuf = filterBuf[:filterLen]
 	r := &tableReader{f: f, num: num, cache: cache, filter: unmarshalBloom(filterBuf), count: count}
 	for len(index) > 0 {
 		klen, n := binary.Uvarint(index)
@@ -295,12 +325,18 @@ func (r *tableReader) blockFor(key []byte) int {
 	return i - 1
 }
 
+// readBlock fetches one data block and verifies its CRC trailer, so disk
+// bit rot surfaces as errCorrupt instead of a silently wrong block.
 func (r *tableReader) readBlock(i int) ([]byte, error) {
-	buf := make([]byte, r.indexLens[i])
+	n := r.indexLens[i]
+	buf := make([]byte, n+blockTrailerLen)
 	if _, err := r.f.ReadAt(buf, int64(r.indexOffs[i])); err != nil {
 		return nil, err
 	}
-	return buf, nil
+	if crc32.Checksum(buf[:n], crcTable) != binary.LittleEndian.Uint32(buf[n:]) {
+		return nil, fmt.Errorf("%w: sstable %06d block %d checksum", errCorrupt, r.num, i)
+	}
+	return buf[:n:n], nil
 }
 
 // readBlockCached serves a data block through the DB's block cache.

@@ -32,10 +32,17 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // errCorrupt reports a malformed WAL or SSTable structure.
 var errCorrupt = errors.New("lsm: corrupt file")
 
-// walWriter appends framed records to a log file.
+// walWriter appends framed records to a log file. Its error is STICKY:
+// after a failed (or short) write or a failed fsync the log's durable
+// contents are unknown — the kernel may have dropped the dirty pages
+// after reporting the fsync error (the fsyncgate behavior), so a later
+// append or sync reporting success would be a lie. Every subsequent
+// operation returns the original error; only rotating to a fresh log
+// file clears the condition.
 type walWriter struct {
 	f   *os.File
 	buf []byte
+	err error // first write/sync failure; sticky (see type comment)
 }
 
 func newWALWriter(path string) (*walWriter, error) {
@@ -48,6 +55,9 @@ func newWALWriter(path string) (*walWriter, error) {
 
 // append writes one record, syncing the file when sync is true.
 func (w *walWriter) append(payload []byte, sync bool) error {
+	if w.err != nil {
+		return w.err
+	}
 	w.buf = w.buf[:0]
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
@@ -55,12 +65,26 @@ func (w *walWriter) append(payload []byte, sync bool) error {
 	w.buf = append(w.buf, hdr[:]...)
 	w.buf = append(w.buf, payload...)
 	if _, err := w.f.Write(w.buf); err != nil {
-		return fmt.Errorf("lsm: wal write: %w", err)
+		w.err = fmt.Errorf("lsm: wal write: %w", err)
+		return w.err
 	}
 	if sync {
 		if err := w.f.Sync(); err != nil {
-			return fmt.Errorf("lsm: wal sync: %w", err)
+			w.err = fmt.Errorf("lsm: wal sync: %w", err)
+			return w.err
 		}
+	}
+	return nil
+}
+
+// sync fsyncs the log, latching any failure like append does.
+func (w *walWriter) sync() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("lsm: wal sync: %w", err)
+		return w.err
 	}
 	return nil
 }

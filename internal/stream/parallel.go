@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -677,6 +678,12 @@ type commitSpine struct {
 	// fed back as a controller observation.
 	tun *AutoTuner
 	q   chan spineEntry
+	// groupFailed latches the first txn.ErrGroupFailed verdict (worker-
+	// goroutine owned): a poisoned commit group is surfaced as exactly ONE
+	// topology failure, and every later fail-fast verdict is accounted as
+	// an abort — the spine drains the remaining boundaries deterministically
+	// instead of wedging or flooding the error list (see account).
+	groupFailed bool
 }
 
 // spineEntry is one decided transaction awaiting its commit work.
@@ -868,11 +875,23 @@ func (sp *commitSpine) commitRun(run []spineEntry) {
 	}
 }
 
-// account books one table's commit verdict into its stats.
+// account books one table's commit verdict into its stats. A broken
+// commit group (fail-stop, txn.ErrGroupFailed) is deterministic pipeline
+// poisoning: the first verdict fails the topology with the sticky cause,
+// every subsequent one counts as an abort so the worker drains the
+// remaining in-flight boundaries cleanly — no post-failure commit is
+// ever acknowledged, and the barrier never wedges behind a spine that
+// stopped consuming.
 func (sp *commitSpine) account(reg laneCommitReg, err error) {
 	switch {
 	case err == nil:
 		reg.stats.Commits.Add(1)
+	case errors.Is(err, txn.ErrGroupFailed):
+		reg.stats.Aborts.Add(1)
+		if !sp.groupFailed {
+			sp.groupFailed = true
+			sp.t.fail(sp.name, err)
+		}
 	case txn.IsAbort(err) || err == txn.ErrFinished:
 		reg.stats.Aborts.Add(1)
 	default:

@@ -1,6 +1,7 @@
 package stream
 
 import (
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -44,6 +45,12 @@ func (s *Stream) ToTable(p txn.Protocol, tbl *txn.Table) (*Stream, *ToTableStats
 		poisoned bool
 		runTx    *txn.Txn
 		ops      = make([]txn.WriteOp, 0, batchCap)
+		// groupFailed latches the first fail-stop verdict: a poisoned
+		// commit group (txn.ErrGroupFailed) fails the topology exactly
+		// once; every later fail-fast commit is counted as an abort so the
+		// operator keeps draining deterministically (mirrors the batched
+		// spine's accounting).
+		groupFailed bool
 	)
 	// flushRun applies the pending run through the batched write API.
 	// Counting matches the per-element engine: every applied write
@@ -99,9 +106,16 @@ func (s *Stream) ToTable(p txn.Protocol, tbl *txn.Table) (*Stream, *ToTableStats
 					continue
 				}
 				if err := p.CommitState(e.Tx, tbl); err != nil {
-					if txn.IsAbort(err) || err == txn.ErrFinished {
+					switch {
+					case errors.Is(err, txn.ErrGroupFailed):
 						stats.Aborts.Add(1)
-					} else {
+						if !groupFailed {
+							groupFailed = true
+							s.t.fail(name, err)
+						}
+					case txn.IsAbort(err) || err == txn.ErrFinished:
+						stats.Aborts.Add(1)
+					default:
 						s.t.fail(name, err)
 					}
 					continue

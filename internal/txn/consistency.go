@@ -373,6 +373,12 @@ func (p *protocolBase) commitChain(txs []*Txn, tbls []*Table, admitFor func(*Txn
 // committer does in groupCommit, handling the leadership baton on any of
 // its requests.
 func (p *protocolBase) groupCommitMany(g *Group, reqs []*commitReq) {
+	if err := g.Err(); err != nil {
+		// Fail-stop fast path: the group is poisoned, nothing may be
+		// enqueued. Every request is decided here with the sticky error.
+		p.failReqs(reqs, err)
+		return
+	}
 	g.qmu.Lock()
 	g.pending = append(g.pending, reqs...)
 	lead := !g.leaderActive
@@ -553,6 +559,12 @@ const groupCommitLinger = 200 * time.Microsecond
 // indefinitely — in particular an S2PL committer's row locks are released
 // after one batch, as with the original per-commit latch.
 func (p *protocolBase) groupCommit(g *Group, tx *Txn, admit func(*commitOverlay) error) error {
+	if err := g.Err(); err != nil {
+		// Fail-stop fast path: a poisoned group rejects commits before
+		// they queue (leaderCommit re-checks for requests that raced in).
+		p.abortLocked(tx)
+		return err
+	}
 	req := &commitReq{tx: tx, admit: admit, ready: make(chan struct{})}
 	g.qmu.Lock()
 	g.pending = append(g.pending, req)
@@ -683,6 +695,12 @@ func (p *protocolBase) leadGroup(g *Group) {
 //     makes every member transaction visible, completely or not at all —
 //     then notify watchers per transaction in commit order.
 func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
+	if err := g.Err(); err != nil {
+		// The group was poisoned after these requests passed the enqueue
+		// fast path; decide them all with the sticky error.
+		p.failReqs(batch, err)
+		return
+	}
 	tenureStart := time.Now()
 	horizon := p.ctx.OldestActiveVersion()
 	n := uint64(len(batch))
@@ -784,12 +802,22 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	}
 	for _, sb := range batches {
 		if err := sb.store.Apply(sb.batch, sb.sync); err != nil {
-			err = fmt.Errorf("txn: commit durability: %w", err)
-			for _, req := range admitted {
-				req.err = err
-				p.abortLocked(req.tx)
-				close(req.ready)
+			// Fail-stop: after a durability error the batch's persistence
+			// is unknowable (stores applied earlier in this loop already
+			// hold it durably, the failed one may hold any prefix). No
+			// version was installed yet, so memory is clean — but ONLY a
+			// restart can reconcile disk, so every group with a table on
+			// any touched store is poisoned before the requests are
+			// decided. Recovery resolves the divergence via the per-store
+			// watermark (see CreateGroup).
+			cause := fmt.Errorf("txn: commit durability: %w", err)
+			stores := make([]kv.Store, len(batches))
+			for i, b := range batches {
+				stores[i] = b.store
 			}
+			g.fail(cause)
+			p.ctx.failGroupsOnStores(stores, cause)
+			p.failReqs(admitted, g.Err())
 			return
 		}
 	}
@@ -798,7 +826,12 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 
 	// Phase 4: in-memory version install, ascending commit timestamps.
 	// Admission already resolved most objects (op.obj); only keys created
-	// by this very batch still need the registry.
+	// by this very batch still need the registry. Install cannot fail in
+	// normal operation (version arrays grow on demand, installers are
+	// serialized by the latch); an invariant trip is handled fail-stop —
+	// the group is poisoned with the diagnostic and the whole batch stays
+	// invisible (LastCTS is never published) — instead of killing the
+	// embedding process.
 	for _, req := range admitted {
 		for _, e := range req.entries {
 			for i, key := range e.order {
@@ -808,7 +841,9 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 					o = e.table.object(key, true)
 				}
 				if err := o.Install(req.cts, op.value, op.delete, horizon); err != nil {
-					panic(fmt.Sprintf("txn: install invariant violated: %v", err))
+					g.fail(fmt.Errorf("txn: install invariant violated: %w", err))
+					p.failReqs(admitted, g.Err())
+					return
 				}
 			}
 		}
@@ -872,6 +907,16 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 		}
 	}()
 
+	// Fail-stop: a poisoned group anywhere in the span rejects the whole
+	// cross-group commit (checked under the latches so no failure can
+	// race in between check and install).
+	for _, g := range groups {
+		if err := g.Err(); err != nil {
+			p.abortLocked(tx)
+			return err
+		}
+	}
+
 	if admit != nil {
 		if err := admit(nil); err != nil {
 			p.abortLocked(tx)
@@ -922,21 +967,36 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 	for _, sb := range batches {
 		if err := sb.store.Apply(sb.batch, sb.sync); err != nil {
 			// No version was installed yet, so aborting here is clean in
-			// memory. A store that failed after persisting part of the
-			// batch is reconciled at recovery via the per-store watermark
-			// (see CreateGroup).
+			// memory — but stores applied earlier in this loop already
+			// hold the batch durably (the multi-store tear window), so
+			// every group with a table on any touched store is poisoned:
+			// only restart + recovery (per-store watermark, see
+			// CreateGroup) can reconcile the divergence.
+			cause := fmt.Errorf("txn: commit durability: %w", err)
+			stores := make([]kv.Store, len(batches))
+			for i, b := range batches {
+				stores[i] = b.store
+			}
+			p.ctx.failGroupsOnStores(stores, cause)
 			p.abortLocked(tx)
-			return fmt.Errorf("txn: commit durability: %w", err)
+			return cause
 		}
 	}
 	syncDone := time.Now()
 
-	// In-memory version install.
+	// In-memory version install. An invariant trip is fail-stop: every
+	// involved group is poisoned with the diagnostic and the commit stays
+	// invisible (no LastCTS publish), instead of panicking the process.
 	for _, e := range entries {
 		for i, key := range e.order {
 			op := &e.ops[i]
 			if err := e.table.object(key, true).Install(cts, op.value, op.delete, horizon); err != nil {
-				panic(fmt.Sprintf("txn: install invariant violated: %v", err))
+				cause := fmt.Errorf("txn: install invariant violated: %w", err)
+				for _, g := range groups {
+					g.fail(cause)
+				}
+				p.abortLocked(tx)
+				return fmt.Errorf("%w: %w", ErrGroupFailed, cause)
 			}
 		}
 	}

@@ -220,6 +220,12 @@ type Group struct {
 
 	lastCTS atomic.Uint64
 
+	// failure, when non-nil, is the group's sticky fail-stop record: a
+	// durability or install error poisoned the group and every further
+	// commit fails fast with the wrapped error (see failstop.go). Reads
+	// keep serving. Set once via CAS; never cleared.
+	failure atomic.Pointer[groupFailure]
+
 	// Group-commit pipeline. The paper's short commit-time critical
 	// section serialized whole commits; here concurrent committers instead
 	// enqueue their validated transactions on pending. The first committer

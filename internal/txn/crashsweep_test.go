@@ -1,0 +1,329 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sistream/internal/kv"
+)
+
+// This file is the crash-recovery property harness of the fail-stop
+// durability layer: for random transaction scripts, every protocol and
+// both commit-window shapes, it crashes the base store at EVERY write
+// boundary, reopens, and asserts PREFIX DURABILITY — the recovered table
+// contents equal the effects of exactly the acknowledged-and-durable
+// prefix of the committed-transaction sequence, with the per-table
+// watermark (Table.metaKey) consistent with that prefix. It is the
+// robustness analogue of the spine-equivalence property tests: "recovery
+// works" becomes an enforced invariant.
+
+// sweepOp is one scripted write.
+type sweepOp struct {
+	key string
+	val string
+	del bool
+}
+
+// sweepTxn is one scripted transaction (its ops, applied in order).
+type sweepTxn []sweepOp
+
+// makeSweepScript builds a deterministic pseudo-random script of n
+// transactions. Keys are partitioned by window position (txns that can
+// share a chain window touch disjoint keys — S2PL acquires its locks at
+// write time, so same-window overlap would self-deadlock a single-driver
+// harness) while txns at the same position across windows overwrite and
+// delete each other's keys, exercising version overwrite and tombstones
+// in recovery.
+func makeSweepScript(rng *rand.Rand, n, window int) []sweepTxn {
+	script := make([]sweepTxn, n)
+	for i := range script {
+		slot := i % window
+		nops := 1 + rng.Intn(3)
+		tx := make(sweepTxn, 0, nops)
+		for j := 0; j < nops; j++ {
+			key := fmt.Sprintf("k%02d-%d", slot, rng.Intn(3))
+			if rng.Intn(5) == 0 && i > 0 {
+				tx = append(tx, sweepOp{key: key, del: true})
+			} else {
+				tx = append(tx, sweepOp{key: key, val: fmt.Sprintf("v%d.%d", i, j)})
+			}
+		}
+		script[i] = tx
+	}
+	return script
+}
+
+func sweepProtocol(name string, ctx *Context) Protocol {
+	switch name {
+	case "mvcc":
+		return NewSI(ctx)
+	case "s2pl":
+		return NewS2PL(ctx)
+	case "bocc":
+		return NewBOCC(ctx)
+	}
+	panic("unknown protocol " + name)
+}
+
+// runSweepScript drives the script against the fault store and reports
+// which transactions were acknowledged as committed, in commit order.
+// With window > 1 it uses the chain-commit path (CommitChain batches of
+// up to window transactions — the fused spine's shape); otherwise plain
+// Commit per transaction. Driving continues after a crash so the sweep
+// also verifies fail-fast behavior of every post-crash commit.
+func runSweepScript(t *testing.T, proto string, window int, script []sweepTxn, fault *kv.Fault) (committed []int, group *Group, p Protocol) {
+	t.Helper()
+	ctx := NewContext()
+	tbl, err := ctx.CreateTable("sweep", fault, TableOptions{SyncCommits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err = ctx.CreateGroup("g", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p = sweepProtocol(proto, ctx)
+
+	apply := func(tx *Txn, s sweepTxn) error {
+		for _, op := range s {
+			var err error
+			if op.del {
+				err = p.Delete(tx, tbl, op.key)
+			} else {
+				err = p.Write(tx, tbl, op.key, []byte(op.val))
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	sawFailure := false
+	noteErr := func(idx int, err error) {
+		if err == nil {
+			committed = append(committed, idx)
+			if sawFailure {
+				t.Fatalf("txn %d acknowledged AFTER a durability failure", idx)
+			}
+			return
+		}
+		if sawFailure && !errors.Is(err, ErrGroupFailed) {
+			t.Fatalf("txn %d post-failure error = %v, want sticky ErrGroupFailed", idx, err)
+		}
+		sawFailure = true
+	}
+
+	if window <= 1 {
+		for i, s := range script {
+			tx, err := p.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := apply(tx, s); err != nil {
+				t.Fatalf("txn %d write: %v", i, err)
+			}
+			noteErr(i, p.Commit(tx))
+		}
+		return committed, group, p
+	}
+
+	cc, ok := p.(ChainCommitter)
+	if !ok {
+		t.Fatalf("protocol %s does not support chain commits", proto)
+	}
+	ch := NewChain()
+	for start := 0; start < len(script); start += window {
+		end := start + window
+		if end > len(script) {
+			end = len(script)
+		}
+		txs := make([]*Txn, 0, end-start)
+		for i := start; i < end; i++ {
+			tx, err := p.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tx.SetChain(ch)
+			if err := apply(tx, script[i]); err != nil {
+				t.Fatalf("txn %d write: %v", i, err)
+			}
+			txs = append(txs, tx)
+		}
+		errs := cc.CommitChain(txs, []*Table{tbl})
+		for i := range errs {
+			noteErr(start+i, errs[i][0])
+		}
+	}
+	return committed, group, p
+}
+
+// sweepEffects replays the committed prefix into a flat map.
+func sweepEffects(script []sweepTxn, committed []int) map[string]string {
+	want := map[string]string{}
+	for _, idx := range committed {
+		for _, op := range script[idx] {
+			if op.del {
+				delete(want, op.key)
+			} else {
+				want[op.key] = op.val
+			}
+		}
+	}
+	return want
+}
+
+// recoverSweep reopens the crashed store into a fresh context and
+// returns the recovered watermark and table contents.
+func recoverSweep(t *testing.T, fault *kv.Fault) (Timestamp, map[string]string) {
+	t.Helper()
+	re, err := fault.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { re.Close() })
+	ctx := NewContext()
+	tbl, err := ctx.CreateTable("sweep", re, TableOptions{SyncCommits: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := ctx.CreateGroup("g", tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recovered := g.LastCTS()
+	got := map[string]string{}
+	tbl.SnapshotScan(ctx.Now(), func(key string, value []byte) bool {
+		got[key] = string(value)
+		return true
+	})
+	return recovered, got
+}
+
+// TestPropertyCrashRecoveryPrefixDurability is the sweep: for each
+// protocol × window shape, first a fault-free counting run fixes the
+// number of write boundaries, then one run per boundary crashes the
+// store exactly there, reopens, and asserts the prefix-durability
+// invariant plus post-crash fail-stop behavior.
+func TestPropertyCrashRecoveryPrefixDurability(t *testing.T) {
+	const nTxns = 16
+	for _, proto := range []string{"mvcc", "s2pl", "bocc"} {
+		for _, window := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/window=%d", proto, window), func(t *testing.T) {
+				script := makeSweepScript(rand.New(rand.NewSource(0xC0FFEE)), nTxns, window)
+
+				// Counting run: no faults; fixes the number of Apply
+				// boundaries and the full committed sequence.
+				clean := kv.NewFault(kv.NewMem())
+				committedAll, _, _ := runSweepScript(t, proto, window, script, clean)
+				if len(committedAll) != nTxns {
+					t.Fatalf("fault-free run committed %d/%d txns", len(committedAll), nTxns)
+				}
+				boundaries := int(clean.Stats().Applies)
+				clean.Close()
+				if boundaries == 0 {
+					t.Fatal("no write boundaries to sweep")
+				}
+
+				// The sweep: crash at every boundary (and one past the
+				// end — no crash — as a control).
+				for k := 1; k <= boundaries+1; k++ {
+					fault := kv.NewFault(kv.NewMem())
+					fault.CrashAtApply(k)
+					committed, group, p := runSweepScript(t, proto, window, script, fault)
+
+					if k <= boundaries {
+						if !fault.Crashed() {
+							t.Fatalf("crash=%d: store did not crash", k)
+						}
+						// Fail-stop: the group is poisoned and a fresh
+						// commit fails fast while reads still serve the
+						// acknowledged in-memory state.
+						if group.Err() == nil {
+							t.Fatalf("crash=%d: group not poisoned", k)
+						}
+						tx, err := p.Begin()
+						if err != nil {
+							t.Fatal(err)
+						}
+						tbl := group.Tables()[0]
+						if err := p.Write(tx, tbl, "post", []byte("x")); err != nil {
+							t.Fatalf("crash=%d: buffered write failed: %v", k, err)
+						}
+						if err := p.Commit(tx); !errors.Is(err, ErrGroupFailed) {
+							t.Fatalf("crash=%d: post-crash commit = %v, want ErrGroupFailed", k, err)
+						}
+						ro, _ := p.BeginReadOnly()
+						if _, _, err := p.Read(ro, tbl, "k00-0"); err != nil {
+							t.Fatalf("crash=%d: post-crash read = %v", k, err)
+						}
+						_ = p.Abort(ro)
+					} else if len(committed) != nTxns {
+						t.Fatalf("control run committed %d/%d", len(committed), nTxns)
+					}
+
+					// Prefix durability: what the reopened store recovers
+					// is exactly the effects of the acknowledged commits —
+					// the acknowledged sequence IS the durable prefix,
+					// because acknowledgment follows the synced Apply.
+					recovered, got := recoverSweep(t, fault)
+					want := sweepEffects(script, committed)
+					if len(got) != len(want) {
+						t.Fatalf("crash=%d: recovered %d keys (%v), want %d (%v)", k, len(got), got, len(want), want)
+					}
+					for key, val := range want {
+						if got[key] != val {
+							t.Fatalf("crash=%d: recovered %q=%q, want %q", k, key, got[key], val)
+						}
+					}
+					// Watermark consistency: zero with no durable commit,
+					// otherwise it must not precede any acknowledged commit
+					// (the last acked commit's batch carried it).
+					if len(committed) == 0 && recovered != 0 {
+						t.Fatalf("crash=%d: watermark %d with no committed txn", k, recovered)
+					}
+					if len(committed) > 0 && recovered == 0 {
+						t.Fatalf("crash=%d: watermark lost (%d commits acked)", k, recovered)
+					}
+					fault.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestCrashSweepTornBatchDetectable: the harness's store-level batch
+// atomicity is what the commit protocol relies on (a WAL record is
+// atomic via its CRC framing). A store that tears a batch violates the
+// contract, and the watermark makes the violation observable: the torn
+// prefix excludes the trailing watermark op, so recovery sees rows newer
+// than the watermark claims. This test documents that the tear is NOT
+// silently absorbed — the recovered contents differ from every prefix.
+func TestCrashSweepTornBatchDetectable(t *testing.T) {
+	script := makeSweepScript(rand.New(rand.NewSource(7)), 4, 1)
+	fault := kv.NewFault(kv.NewMem())
+	// Tear the 3rd commit's batch after a single op: rows of txn 2 leak
+	// without its watermark bump.
+	fault.TearApplyAt(3, 1)
+	committed, _, _ := runSweepScript(t, "mvcc", 1, script, fault)
+
+	_, got := recoverSweep(t, fault)
+	want := sweepEffects(script, committed)
+	match := len(got) == len(want)
+	if match {
+		for key, val := range want {
+			if got[key] != val {
+				match = false
+				break
+			}
+		}
+	}
+	if match {
+		// The torn op happened to coincide with the acknowledged prefix
+		// (e.g. it overwrote an existing value identically) — that would
+		// make this test vacuous; the fixed seed avoids it.
+		t.Fatal("torn batch was indistinguishable from a clean prefix; pick a different seed")
+	}
+}

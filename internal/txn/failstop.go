@@ -1,0 +1,99 @@
+package txn
+
+import (
+	"errors"
+	"fmt"
+
+	"sistream/internal/kv"
+)
+
+// This file implements the engine's fail-stop failure model. The commit
+// protocol's correctness rests on one rule: the in-memory version store
+// must never diverge from what a restart would recover from the base
+// stores. Any failure that could break that rule — a durability Apply
+// error (the fsyncgate hazard: after a failed fsync the page cache's
+// state is unknowable) or an install invariant trip mid-batch — poisons
+// every affected Group instead of being retried or papered over. A
+// poisoned group refuses all further commits with a sticky wrapped
+// ErrGroupFailed while reads (and read-only transactions) keep serving —
+// graceful degradation to read-only until the process restarts and
+// recovery reconciles from the durable watermarks.
+
+// ErrGroupFailed is the sticky fail-stop error of a poisoned commit
+// group: after a durability or install failure, every subsequent commit
+// touching the group fails fast wrapping this sentinel (errors.Is). The
+// original cause stays in the chain — Group.Err returns the full wrapped
+// error. Reads are unaffected.
+var ErrGroupFailed = errors.New("txn: commit group failed (fail-stop)")
+
+// groupFailure is the immutable record of a group's first fatal error.
+// wrapped is precomputed so the hot-path Err check stays allocation-free.
+type groupFailure struct {
+	cause   error
+	wrapped error
+}
+
+// Err reports the group's sticky fail-stop state: nil while healthy,
+// otherwise an error wrapping both ErrGroupFailed and the original cause
+// (durability failure, install invariant trip). Once non-nil it never
+// becomes nil again; the only way forward is restart + recovery.
+func (g *Group) Err() error {
+	if f := g.failure.Load(); f != nil {
+		return f.wrapped
+	}
+	return nil
+}
+
+// fail poisons the group with cause. The first cause wins; later calls
+// are no-ops, so Err always reports the error that actually broke the
+// group.
+func (g *Group) fail(cause error) {
+	g.failure.CompareAndSwap(nil, &groupFailure{
+		cause:   cause,
+		wrapped: fmt.Errorf("%w: %w", ErrGroupFailed, cause),
+	})
+}
+
+// failGroupsOnStores poisons every group with a member table on any of
+// the given base stores. It closes the multi-store tear window: when a
+// commit batch spans stores and the Nth Apply fails, stores applied
+// earlier already hold the batch durably while the failed one does not —
+// any group sharing ANY touched store must stop committing, or a later
+// commit would re-diverge memory from disk. The registry shards are
+// scanned under their read latches; group membership is immutable after
+// CreateGroup, so the scan is race-free.
+func (c *Context) failGroupsOnStores(stores []kv.Store, cause error) {
+	touched := func(g *Group) bool {
+		for _, t := range g.tables {
+			for _, st := range stores {
+				if t.store == st {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for _, g := range sh.groups {
+			if touched(g) {
+				g.fail(cause)
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// failReqs records the fail-stop verdict on a slice of commit requests:
+// each transaction is aborted and its owner woken with err. Versions a
+// partially processed batch may already have installed stay invisible
+// forever — LastCTS is never published for a failed batch and the group
+// is poisoned, so no later publish can expose them.
+func (p *protocolBase) failReqs(reqs []*commitReq, err error) {
+	for _, req := range reqs {
+		req.err = err
+		p.abortLocked(req.tx)
+		close(req.ready)
+	}
+}

@@ -1,0 +1,176 @@
+package txn
+
+import (
+	"errors"
+	"testing"
+
+	"sistream/internal/kv"
+)
+
+// TestMultiStoreFailurePoisonsAllTouchedGroups closes the tear window of
+// the durability phase: a commit batch spanning two stores where the
+// second Apply fails leaves the first store's data durable (it was
+// already fsynced) with nothing installed in memory. Every group with a
+// table on ANY touched store must be poisoned — including groups that
+// were not part of the failing commit — or a later commit on the shared
+// store would re-diverge memory from disk.
+func TestMultiStoreFailurePoisonsAllTouchedGroups(t *testing.T) {
+	good := kv.NewMem()
+	defer good.Close()
+	badInner := kv.NewMem()
+	defer badInner.Close()
+	bad := &failingStore{Store: badInner}
+
+	ctx := NewContext()
+	// Group g1 spans both stores; group g2 lives entirely on the healthy
+	// store that g1's failing commit also touches.
+	a, _ := ctx.CreateTable("a", good, TableOptions{})
+	b, _ := ctx.CreateTable("b", bad, TableOptions{})
+	c, _ := ctx.CreateTable("c", good, TableOptions{})
+	g1, err := ctx.CreateGroup("g1", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ctx.CreateGroup("g2", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+
+	// Seed g2 so we can verify reads survive the poisoning.
+	tx, _ := p.Begin()
+	p.Write(tx, c, "k", []byte("seed"))
+	mustCommit(t, p, tx)
+
+	// The doomed commit: table "a" (store `good`) applies first — its
+	// rows and watermark become durable — then table "b"'s store fails.
+	bad.fail.Store(true)
+	tx2, _ := p.Begin()
+	p.Write(tx2, a, "k", []byte("torn"))
+	p.Write(tx2, b, "k", []byte("torn"))
+	if err := p.Commit(tx2); !errors.Is(err, errDiskFull) {
+		t.Fatalf("commit = %v, want the injected disk error", err)
+	}
+
+	// The tear is real: the healthy store holds the aborted row durably.
+	if _, found, _ := good.Get([]byte("s/a/k")); !found {
+		t.Fatal("expected the first store to hold the torn batch durably")
+	}
+	// ... but memory never saw it.
+	if _, ok, _ := p.Read(mustBegin(t, p), a, "k"); ok {
+		t.Fatal("torn write visible in memory")
+	}
+
+	// Both groups are poisoned: g1 directly, g2 because it shares the
+	// touched store `good`.
+	if err := g1.Err(); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("g1.Err() = %v, want ErrGroupFailed", err)
+	}
+	if err := g2.Err(); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("g2.Err() = %v, want ErrGroupFailed (shared store)", err)
+	}
+
+	// A commit confined to g2 fails fast even though its own store never
+	// returned an error.
+	tx3, _ := p.Begin()
+	p.Write(tx3, c, "k", []byte("later"))
+	if err := p.Commit(tx3); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("g2 commit = %v, want fail-fast ErrGroupFailed", err)
+	}
+
+	// Reads still serve on both groups.
+	if v, ok := readOne(t, p, c, "k"); !ok || v != "seed" {
+		t.Fatalf("read on poisoned g2: %q %v", v, ok)
+	}
+}
+
+// TestMultiGroupCommitFailurePoisonsSpan exercises the slow path: a
+// transaction spanning two groups whose durability fails must poison
+// both groups, and later commits on either fail fast.
+func TestMultiGroupCommitFailurePoisonsSpan(t *testing.T) {
+	inner := kv.NewMem()
+	defer inner.Close()
+	fs := &failingStore{Store: inner}
+	ctx := NewContext()
+	a, _ := ctx.CreateTable("a", fs, TableOptions{})
+	b, _ := ctx.CreateTable("b", fs, TableOptions{})
+	g1, _ := ctx.CreateGroup("g1", a)
+	g2, _ := ctx.CreateGroup("g2", b)
+	p := NewSI(ctx)
+
+	fs.fail.Store(true)
+	tx, _ := p.Begin()
+	p.Write(tx, a, "k", []byte("doomed"))
+	p.Write(tx, b, "k", []byte("doomed"))
+	if err := p.Commit(tx); !errors.Is(err, errDiskFull) {
+		t.Fatalf("cross-group commit = %v, want the injected disk error", err)
+	}
+	if err := g1.Err(); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("g1.Err() = %v, want ErrGroupFailed", err)
+	}
+	if err := g2.Err(); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("g2.Err() = %v, want ErrGroupFailed", err)
+	}
+
+	// The cross-group slow path rejects a spanning transaction too.
+	fs.fail.Store(false)
+	tx2, _ := p.Begin()
+	p.Write(tx2, a, "k", []byte("later"))
+	p.Write(tx2, b, "k", []byte("later"))
+	if err := p.Commit(tx2); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("spanning commit on poisoned groups = %v, want ErrGroupFailed", err)
+	}
+	if ctx.ActiveCount() != 0 {
+		t.Fatalf("leaked slots: %d active", ctx.ActiveCount())
+	}
+}
+
+// TestChainCommitFailsFastOnPoisonedGroup: the batched chain-commit path
+// (groupCommitMany) must decide every request of a run with the sticky
+// error without wedging any committer.
+func TestChainCommitFailsFastOnPoisonedGroup(t *testing.T) {
+	inner := kv.NewMem()
+	defer inner.Close()
+	fs := &failingStore{Store: inner}
+	ctx := NewContext()
+	a, _ := ctx.CreateTable("a", fs, TableOptions{})
+	g, _ := ctx.CreateGroup("g", a)
+	p := NewSI(ctx)
+
+	fs.fail.Store(true)
+	tx, _ := p.Begin()
+	p.Write(tx, a, "k", []byte("doomed"))
+	if err := p.Commit(tx); err == nil {
+		t.Fatal("expected durability failure")
+	}
+	if g.Err() == nil {
+		t.Fatal("group not poisoned")
+	}
+
+	ch := NewChain()
+	txs := make([]*Txn, 4)
+	for i := range txs {
+		txs[i], _ = p.Begin()
+		txs[i].SetChain(ch)
+		p.Write(txs[i], a, "k", []byte{byte(i)})
+	}
+	errs := p.CommitChain(txs, []*Table{a})
+	for i, row := range errs {
+		if !errors.Is(row[0], ErrGroupFailed) {
+			t.Fatalf("chain commit %d = %v, want ErrGroupFailed", i, row[0])
+		}
+	}
+	if ctx.ActiveCount() != 0 {
+		t.Fatalf("chain fail-fast leaked slots: %d active", ctx.ActiveCount())
+	}
+}
+
+func mustBegin(t *testing.T, p Protocol) *Txn {
+	t.Helper()
+	tx, err := p.BeginReadOnly()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = p.Abort(tx) })
+	return tx
+}

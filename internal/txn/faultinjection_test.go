@@ -27,8 +27,10 @@ func (f *failingStore) Apply(b *kv.Batch, sync bool) error {
 
 // TestCommitDurabilityFailureAbortsCleanly: if the base store rejects the
 // commit batch, the transaction aborts with no visible effect — memory
-// versions untouched, LastCTS unchanged, and later transactions proceed
-// normally once the store recovers.
+// versions untouched, LastCTS unchanged — and the group enters the sticky
+// fail-stop state: even after the store "heals", commits are refused
+// (the page cache's state after a failed durability point is unknowable)
+// while reads keep serving.
 func TestCommitDurabilityFailureAbortsCleanly(t *testing.T) {
 	inner := kv.NewMem()
 	defer inner.Close()
@@ -83,16 +85,36 @@ func TestCommitDurabilityFailureAbortsCleanly(t *testing.T) {
 		t.Fatalf("failed txn leaked a slot: %d active", ctx.ActiveCount())
 	}
 
-	// Store heals: the system keeps working.
+	// Fail-stop: the group is poisoned with the original cause.
+	if gerr := a.Group().Err(); !errors.Is(gerr, ErrGroupFailed) || !errors.Is(gerr, errDiskFull) {
+		t.Fatalf("Group.Err() = %v, want ErrGroupFailed wrapping the disk error", gerr)
+	}
+
+	// Even a healed store does not resurrect the group: a later commit
+	// fails fast with the sticky error, before touching the store.
 	fs.fail.Store(false)
 	tx3, _ := p.Begin()
 	p.Write(tx3, a, "k", []byte("after"))
-	mustCommit(t, p, tx3)
-	if v, _ := readOne(t, p, a, "k"); v != "after" {
-		t.Fatalf("post-recovery commit lost: %q", v)
+	if err := p.Commit(tx3); !errors.Is(err, ErrGroupFailed) || !errors.Is(err, errDiskFull) {
+		t.Fatalf("commit on poisoned group = %v, want sticky ErrGroupFailed", err)
 	}
-	if a.Group().LastCTS() <= baseCTS {
-		t.Fatal("watermark did not advance after recovery")
+	if a.Group().LastCTS() != baseCTS {
+		t.Fatal("watermark moved on a poisoned group")
+	}
+
+	// Graceful degradation: reads and read-only transactions still serve.
+	if v, ok := readOne(t, p, a, "k"); !ok || v != "good" {
+		t.Fatalf("read on poisoned group: %q %v", v, ok)
+	}
+	ro, _ := p.BeginReadOnly()
+	if _, _, err := p.Read(ro, a, "k"); err != nil {
+		t.Fatalf("read-only txn on poisoned group: %v", err)
+	}
+	if err := p.Commit(ro); err != nil {
+		t.Fatalf("read-only commit on poisoned group: %v", err)
+	}
+	if ctx.ActiveCount() != 0 {
+		t.Fatalf("fail-fast commits leaked slots: %d active", ctx.ActiveCount())
 	}
 }
 
@@ -122,12 +144,19 @@ func TestDurabilityFailureUnderS2PLReleasesLocks(t *testing.T) {
 		t.Fatalf("locks leaked after failed commit: %d", p.LockCount())
 	}
 	fs.fail.Store(false)
-	// The key is immediately writable by another transaction.
+	// The key is immediately writable by another transaction (no stuck
+	// locks); its commit fails fast on the poisoned group and must
+	// release the locks again.
 	tx2, _ := p.Begin()
 	if err := p.Write(tx2, a, "k", []byte("fresh")); err != nil {
 		t.Fatal(err)
 	}
-	mustCommit(t, p, tx2)
+	if err := p.Commit(tx2); !errors.Is(err, ErrGroupFailed) {
+		t.Fatalf("commit on poisoned group = %v, want ErrGroupFailed", err)
+	}
+	if p.LockCount() != 0 {
+		t.Fatalf("locks leaked after fail-fast commit: %d", p.LockCount())
+	}
 }
 
 // TestDurabilityFailureUnderBOCCNotRegistered: a failed BOCC commit must
