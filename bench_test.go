@@ -28,8 +28,8 @@ import (
 // cell runs one workload cell and reports the paper's metrics.
 func cell(b *testing.B, cfg bench.Config) bench.Result {
 	b.Helper()
-	if cfg.Backend == "lsm" {
-		cfg.Dir = b.TempDir()
+	if cfg.Dir == "" {
+		cfg.Dir = b.TempDir() // unused by volatile backend specs
 	}
 	var last bench.Result
 	for i := 0; i < b.N; i++ {
@@ -172,9 +172,10 @@ func BenchmarkAblationSync(b *testing.B) {
 }
 
 // BenchmarkAblationBackend (A4): persistent LSM base table vs. the
-// in-memory map backend.
+// in-memory map backend vs. the cache tier chained over the LSM store
+// (all resolved by kv-registry spec).
 func BenchmarkAblationBackend(b *testing.B) {
-	for _, backend := range []string{"lsm", "mem"} {
+	for _, backend := range []string{"lsm", "mem", "cache(256)+lsm"} {
 		b.Run(backend, func(b *testing.B) {
 			cfg := benchCfg()
 			cfg.Backend = backend

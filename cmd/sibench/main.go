@@ -29,12 +29,17 @@
 //	sibench -adaptive                    # self-tuning spine vs the static
 //	                                     # windows on the lsm+sync pipeline
 //	sibench -benchjson -backend mem      # lane sweep + feed sweep + pipeline
-//	                                     # sweep + adaptive sweep as one JSON
-//	                                     # object (regenerates BENCH_ingest.json)
+//	                                     # sweep + adaptive sweep + backend
+//	                                     # sweep as one JSON object
+//	                                     # (regenerates BENCH_ingest.json)
+//	sibench -ingest -store 'cache(256)+lsm'  # ... over a chained backend spec
 //	sibench -csv                         # CSV instead of tables
 //
 // Scale knobs: -tablesize (paper: 1000000), -duration per cell,
-// -backend mem|lsm, -dir for LSM data.
+// -backend for the registered backend name, -store for a full chained
+// spec (overrides -backend), -dir for persistent data directories.
+// Backends resolve through the kv adapter registry, so any registered
+// spec works: mem, lsm, cache(256)+lsm, fault+mem, ...
 package main
 
 import (
@@ -74,8 +79,9 @@ func main() {
 		benchJSON = flag.Bool("benchjson", false, "run the ingest lane sweep, the feed partition sweep and the pipeline sweep, emit the BENCH_ingest.json object")
 		jsonOut   = flag.Bool("json", false, "ingest/feed: JSON output")
 		protocol  = flag.String("protocol", "mvcc", "mvcc | s2pl | bocc")
-		backend   = flag.String("backend", "lsm", "mem | lsm")
-		dir       = flag.String("dir", "", "LSM data directory (default: temp)")
+		backend   = flag.String("backend", "lsm", "registered backend name (mem | lsm | ...)")
+		storeSpec = flag.String("store", "", "full backend spec through the kv registry, e.g. 'cache(256)+lsm' (overrides -backend)")
+		dir       = flag.String("dir", "", "data directory for persistent backends (default: temp)")
 		tableSize = flag.Int("tablesize", 100_000, "keys per state (paper: 1000000)")
 		readers   = flag.Int("readers", 4, "concurrent ad-hoc queries")
 		writers   = flag.Int("writers", 1, "continuous writer queries")
@@ -89,8 +95,13 @@ func main() {
 	)
 	flag.Parse()
 
+	spec := *backend
+	if *storeSpec != "" {
+		spec = *storeSpec
+	}
+
 	base := bench.Default()
-	base.Backend = *backend
+	base.Backend = spec
 	base.TableSize = *tableSize
 	base.Readers = *readers
 	base.Writers = *writers
@@ -120,10 +131,8 @@ func main() {
 
 	icfg := bench.DefaultIngest()
 	icfg.Protocol = *protocol
-	icfg.Backend = *backend
-	if icfg.Backend == "lsm" {
-		icfg.Dir = base.Dir
-	}
+	icfg.Backend = spec
+	icfg.Dir = base.Dir // unused by volatile specs
 	icfg.Elements = *elements
 	icfg.CommitEvery = *every
 	icfg.Keys = *keys
@@ -203,6 +212,33 @@ func main() {
 	}
 }
 
+// backendSweepSpecs is the backend sweep: the same ingest workload over
+// the volatile store, the persistent LSM store and the cache tier
+// chained over it — the honest cross-backend comparison the adapter
+// registry makes possible.
+var backendSweepSpecs = []string{"mem", "lsm", "cache(256)+lsm"}
+
+// backendSweep runs the ingest benchmark across backendSweepSpecs on an
+// otherwise identical workload — the "Backends" key of
+// BENCH_ingest.json. freshDir supplies a new data directory per
+// persistent cell.
+func backendSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.IngestResult {
+	var results []bench.IngestResult
+	for _, spec := range backendSweepSpecs {
+		icfg.Backend = spec
+		icfg.Dir = freshDir() // fresh per cell; unused by volatile specs
+		res, err := bench.RunIngest(icfg)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		if print {
+			bench.PrintIngest(os.Stdout, res)
+		}
+	}
+	return results
+}
+
 // feedSweepPartitions is the feed sweep: the sequential single-watcher
 // path (FeedConfig.Partitions 0) followed by partitioned feeds of 1, 2,
 // 4 and 8 watchers. partitions=1 vs sequential isolates the partitioned
@@ -217,9 +253,7 @@ func ingestLaneSweep(icfg bench.IngestConfig, print bool, freshDir func() string
 	var results []bench.IngestResult
 	for _, l := range []int{1, 2, 4, 8} {
 		icfg.Lanes = l
-		if icfg.Backend == "lsm" {
-			icfg.Dir = freshDir()
-		}
+		icfg.Dir = freshDir() // fresh per cell; unused by volatile specs
 		res, err := bench.RunIngest(icfg)
 		if err != nil {
 			fatal(err)
@@ -239,9 +273,7 @@ func ingestLaneSweep(icfg bench.IngestConfig, print bool, freshDir func() string
 func feedPartSweep(icfg bench.IngestConfig, print bool, freshDir func() string) []bench.FeedResult {
 	var results []bench.FeedResult
 	for _, p := range feedSweepPartitions {
-		if icfg.Backend == "lsm" {
-			icfg.Dir = freshDir()
-		}
+		icfg.Dir = freshDir() // fresh per cell; unused by volatile specs
 		res, err := bench.RunFeed(bench.FeedConfig{Ingest: icfg, Partitions: p})
 		if err != nil {
 			fatal(err)
@@ -272,9 +304,7 @@ func pipelineSweep(icfg bench.IngestConfig, print bool, freshDir func() string) 
 	for _, w := range []int{1, 8} {
 		for _, fused := range []bool{false, true} {
 			icfg.Window = w
-			if icfg.Backend == "lsm" {
-				icfg.Dir = freshDir()
-			}
+			icfg.Dir = freshDir() // fresh per cell; unused by volatile specs
 			res, err := bench.RunPipeline(bench.PipelineConfig{Ingest: icfg, Partitions: parts, Fuse: fused})
 			if err != nil {
 				fatal(err)
@@ -302,9 +332,7 @@ func adaptiveSweep(icfg bench.IngestConfig, print bool, freshDir func() string) 
 	icfg.Auto = true
 	var results []bench.PipelineResult
 	for _, fused := range []bool{false, true} {
-		if icfg.Backend == "lsm" {
-			icfg.Dir = freshDir()
-		}
+		icfg.Dir = freshDir() // fresh per cell; unused by volatile specs
 		res, err := bench.RunPipeline(bench.PipelineConfig{Ingest: icfg, Partitions: parts, Fuse: fused})
 		if err != nil {
 			fatal(err)
@@ -394,20 +422,23 @@ func runFeed(icfg bench.IngestConfig, partitions int, sweep, jsonOut bool, fresh
 
 // runBenchJSON regenerates the checked-in BENCH_ingest.json: the ingest
 // lane sweep, the feed partition sweep, the end-to-end pipeline sweep
-// (fused/unfused × commit window 1/8) and the adaptive cells (the same
-// pipeline under the self-tuning spine) as one JSON object with keys
-// "Ingest", "Feed", "Pipeline" and "Adaptive". The checked-in file is
-// produced with `sibench -benchjson -backend mem`. Ingest and Feed run
-// on the chosen backend; the Pipeline and Adaptive sweeps ALWAYS run on
-// the lsm backend with synchronous commits — cross-transaction commit
-// batching amortizes the per-commit fsync, and a memory backend has no
-// fsync to amortize, so a mem-backed sweep would (correctly but
-// uninformatively) show fan-in 1.
+// (fused/unfused × commit window 1/8), the adaptive cells (the same
+// pipeline under the self-tuning spine) and the backend sweep (mem vs
+// lsm vs cache(256)+lsm on one workload) as one JSON object with keys
+// "Ingest", "Feed", "Pipeline", "Adaptive" and "Backends". The
+// checked-in file is produced with `sibench -benchjson -backend mem`.
+// Ingest and Feed run on the chosen backend; the Pipeline and Adaptive
+// sweeps ALWAYS run on the lsm backend with synchronous commits —
+// cross-transaction commit batching amortizes the per-commit fsync, and
+// a memory backend has no fsync to amortize, so a mem-backed sweep
+// would (correctly but uninformatively) show fan-in 1. The backend
+// sweep likewise pins its own specs — comparing backends is its point.
 func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
 	icfg.Auto = false
 	ingests := ingestLaneSweep(icfg, false, freshDir)
 	icfg.Lanes = 1
 	feeds := feedPartSweep(icfg, false, freshDir)
+	backends := backendSweep(icfg, false, freshDir)
 	// The canonical pipeline configuration of the checked-in file: the
 	// small-transaction workload cross-transaction batching targets.
 	icfg.Backend = "lsm"
@@ -423,7 +454,8 @@ func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
 		Feed     []bench.FeedResult
 		Pipeline []bench.PipelineResult
 		Adaptive []bench.PipelineResult
-	}{ingests, feeds, pipelines, adaptives}); err != nil {
+		Backends []bench.IngestResult
+	}{ingests, feeds, pipelines, adaptives, backends}); err != nil {
 		fatal(err)
 	}
 }

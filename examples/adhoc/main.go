@@ -20,10 +20,14 @@ import (
 
 func main() {
 	roundsFlag := flag.Uint64("rounds", 5000, "writer transactions to run")
+	specFlag := flag.String("store", "mem", "backend spec (mem, lsm:<dir>, cache(256)+lsm:<dir>, ...)")
 	flag.Parse()
 	rounds := *roundsFlag
 
-	store := sistream.NewMemStore()
+	store, err := sistream.OpenStore(*specFlag, sistream.StoreOpenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer store.Close()
 	ctx := sistream.NewContext()
 	accounts, err := ctx.CreateTable("accounts", store, sistream.TableOptions{})

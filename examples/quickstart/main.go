@@ -12,9 +12,14 @@ import (
 )
 
 func main() {
-	// A volatile in-memory base table keeps the example self-contained;
-	// swap in sistream.OpenLSM for a persistent one.
-	store := sistream.NewMemStore()
+	// Backends resolve by spec through the storage adapter registry: a
+	// volatile "mem" store keeps the example self-contained; swap the
+	// spec for "lsm:<dir>" (persistent) or "cache(256)+lsm:<dir>" (the
+	// cache tier chained over it).
+	store, err := sistream.OpenStore("mem", sistream.StoreOpenOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	defer store.Close()
 
 	// State management: one table in one topology group.
@@ -23,6 +28,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("base table %q (durable=%t)\n", store.Spec(), store.Capabilities().Durable)
 	if _, err := ctx.CreateGroup("pipeline", events); err != nil {
 		log.Fatal(err)
 	}

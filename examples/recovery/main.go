@@ -30,7 +30,9 @@ func main() {
 }
 
 func incarnation1(dir string) sistream.Timestamp {
-	store, err := sistream.OpenLSM(dir, sistream.LSMOptions{})
+	// The persistent backend by registry spec; the directory rides in the
+	// open options ("lsm:<dir>" inline would work too).
+	store, err := sistream.OpenStore("lsm", sistream.StoreOpenOptions{Dir: dir})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -80,7 +82,7 @@ func incarnation1(dir string) sistream.Timestamp {
 }
 
 func incarnation2(dir string, wantCTS sistream.Timestamp) {
-	store, err := sistream.OpenLSM(dir, sistream.LSMOptions{})
+	store, err := sistream.OpenStore("lsm", sistream.StoreOpenOptions{Dir: dir})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,10 +18,12 @@ type Config struct {
 	// Protocol selects the concurrency control: "mvcc", "s2pl" or
 	// "bocc".
 	Protocol string
-	// Backend selects the base table: "mem" or "lsm" (the paper uses a
-	// persistent LSM store, RocksDB).
+	// Backend selects the base table by kv registry spec: "mem", "lsm"
+	// (the paper uses a persistent LSM store, RocksDB), or a chained
+	// spec such as "cache(256)+lsm".
 	Backend string
-	// Dir is the data directory for the lsm backend.
+	// Dir is the default data directory for persistent backend layers
+	// whose spec carries no inline path.
 	Dir string
 	// States is the number of tables in the topology group (paper: 2).
 	States int
@@ -82,13 +84,8 @@ func (c *Config) validate() error {
 	default:
 		return fmt.Errorf("bench: unknown protocol %q", c.Protocol)
 	}
-	switch c.Backend {
-	case "mem", "lsm":
-	default:
-		return fmt.Errorf("bench: unknown backend %q", c.Backend)
-	}
-	if c.Backend == "lsm" && c.Dir == "" {
-		return fmt.Errorf("bench: lsm backend needs Dir")
+	if err := validateBackend(c.Backend); err != nil {
+		return err
 	}
 	if c.States < 1 || c.TableSize < 1 || c.TxnOps < 1 || c.Writers < 0 || c.Readers < 0 {
 		return fmt.Errorf("bench: non-positive size parameter")

@@ -6,8 +6,6 @@ import (
 	"io"
 	"time"
 
-	"sistream/internal/kv"
-	"sistream/internal/lsm"
 	"sistream/internal/stream"
 	"sistream/internal/txn"
 )
@@ -64,19 +62,14 @@ func RunFaults(cfg FaultsConfig) (FaultsResult, error) {
 		return FaultsResult{}, err
 	}
 
-	var inner kv.Store
-	switch icfg.Backend {
-	case "mem":
-		inner = kv.NewMem()
-	case "lsm":
-		db, err := lsm.Open(icfg.Dir, lsm.Options{})
-		if err != nil {
-			return FaultsResult{}, err
-		}
-		inner = db
+	// The fault wrapper chains over whatever backend the config names —
+	// any registered spec works, "fault+mem", "fault+cache(256)+lsm", ...
+	store, err := OpenStore("fault+"+icfg.Backend, icfg.Dir)
+	if err != nil {
+		return FaultsResult{}, err
 	}
-	fault := kv.NewFault(inner)
-	defer fault.Close()
+	defer store.Close()
+	fault := store.FaultLayer()
 
 	failAt := cfg.FailAtSync
 	if failAt <= 0 {
@@ -93,7 +86,7 @@ func RunFaults(cfg FaultsConfig) (FaultsResult, error) {
 	fault.FailSyncAt(failAt, injected)
 
 	ctx := txn.NewContext()
-	tbl, err := ctx.CreateTable("ingest", fault, txn.TableOptions{SyncCommits: true})
+	tbl, err := ctx.CreateTable("ingest", store, txn.TableOptions{SyncCommits: true})
 	if err != nil {
 		return FaultsResult{}, err
 	}

@@ -7,8 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"sistream/internal/kv"
-	"sistream/internal/lsm"
 	"sistream/internal/stream"
 	"sistream/internal/txn"
 )
@@ -70,16 +68,9 @@ func RunFeed(cfg FeedConfig) (FeedResult, error) {
 		return FeedResult{}, fmt.Errorf("bench: negative partition count")
 	}
 
-	var store kv.Store
-	switch ic.Backend {
-	case "mem":
-		store = kv.NewMem()
-	case "lsm":
-		db, err := lsm.Open(ic.Dir, lsm.Options{})
-		if err != nil {
-			return FeedResult{}, err
-		}
-		store = db
+	store, err := OpenStore(ic.Backend, ic.Dir)
+	if err != nil {
+		return FeedResult{}, err
 	}
 	defer store.Close()
 

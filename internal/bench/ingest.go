@@ -7,7 +7,6 @@ import (
 	"time"
 
 	"sistream/internal/kv"
-	"sistream/internal/lsm"
 	"sistream/internal/stream"
 	"sistream/internal/txn"
 )
@@ -21,9 +20,11 @@ import (
 type IngestConfig struct {
 	// Protocol selects the concurrency control: "mvcc", "s2pl" or "bocc".
 	Protocol string
-	// Backend selects the base table: "mem" or "lsm".
+	// Backend selects the base table by kv registry spec: a backend name
+	// ("mem", "lsm") or a chained spec ("cache(256)+lsm", "fault+mem").
 	Backend string
-	// Dir is the data directory for the lsm backend.
+	// Dir is the default data directory for persistent backend layers
+	// whose spec carries no inline path.
 	Dir string
 	// Elements is the number of data tuples pushed through the pipeline.
 	Elements int
@@ -78,14 +79,8 @@ func (c *IngestConfig) validate() error {
 	default:
 		return fmt.Errorf("bench: unknown protocol %q", c.Protocol)
 	}
-	switch c.Backend {
-	case "mem":
-	case "lsm":
-		if c.Dir == "" {
-			return fmt.Errorf("bench: lsm backend needs Dir")
-		}
-	default:
-		return fmt.Errorf("bench: unknown backend %q", c.Backend)
+	if err := validateBackend(c.Backend); err != nil {
+		return err
 	}
 	if c.Elements < 1 || c.CommitEvery < 1 || c.Keys < 1 {
 		return fmt.Errorf("bench: non-positive size parameter")
@@ -133,6 +128,10 @@ type IngestResult struct {
 	TunedWindow  int    `json:",omitempty"`
 	TunedGrows   uint64 `json:",omitempty"`
 	TunedShrinks uint64 `json:",omitempty"`
+
+	// CacheStats are the cache tier's counters when the backend spec
+	// chains one ("cache(256)+lsm"); nil otherwise.
+	CacheStats *kv.CacheStats `json:",omitempty"`
 }
 
 // RunIngest executes one ingest cell: a single writer pushing
@@ -142,16 +141,9 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 		return IngestResult{}, err
 	}
 
-	var store kv.Store
-	switch cfg.Backend {
-	case "mem":
-		store = kv.NewMem()
-	case "lsm":
-		db, err := lsm.Open(cfg.Dir, lsm.Options{})
-		if err != nil {
-			return IngestResult{}, err
-		}
-		store = db
+	store, err := OpenStore(cfg.Backend, cfg.Dir)
+	if err != nil {
+		return IngestResult{}, err
 	}
 	defer store.Close()
 
@@ -246,6 +238,7 @@ func RunIngest(cfg IngestConfig) (IngestResult, error) {
 	}
 	res.CommitTxns, res.CommitBatches = group.CommitStats()
 	res.ElemsPerSec = float64(res.Writes) / elapsed.Seconds()
+	res.CacheStats = cacheStatsOf(store)
 	if tun != nil {
 		ts := tun.Stats()
 		res.TunedWindow = ts.Window
@@ -290,4 +283,8 @@ func PrintIngest(w io.Writer, r IngestResult) {
 		fanIn = float64(r.CommitTxns) / float64(r.CommitBatches)
 	}
 	fmt.Fprintf(w, "  group ci   %d txns in %d batches (fan-in %.2f)\n", r.CommitTxns, r.CommitBatches, fanIn)
+	if cs := r.CacheStats; cs != nil {
+		fmt.Fprintf(w, "  cache      hits=%d misses=%d evictions=%d dirty-flushed=%d resident=%d\n",
+			cs.Hits, cs.Misses, cs.Evictions, cs.DirtyFlushed, cs.Resident)
+	}
 }

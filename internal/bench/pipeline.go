@@ -7,8 +7,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"sistream/internal/kv"
-	"sistream/internal/lsm"
 	"sistream/internal/stream"
 	"sistream/internal/txn"
 )
@@ -104,16 +102,9 @@ func RunPipeline(cfg PipelineConfig) (PipelineResult, error) {
 		return PipelineResult{}, fmt.Errorf("bench: pipeline needs partitions >= 1")
 	}
 
-	var store kv.Store
-	switch ic.Backend {
-	case "mem":
-		store = kv.NewMem()
-	case "lsm":
-		db, err := lsm.Open(ic.Dir, lsm.Options{})
-		if err != nil {
-			return PipelineResult{}, err
-		}
-		store = db
+	store, err := OpenStore(ic.Backend, ic.Dir)
+	if err != nil {
+		return PipelineResult{}, err
 	}
 	defer store.Close()
 

@@ -8,7 +8,6 @@ import (
 	"time"
 
 	"sistream/internal/kv"
-	"sistream/internal/lsm"
 	"sistream/internal/metrics"
 	"sistream/internal/txn"
 	"sistream/internal/zipf"
@@ -26,16 +25,9 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	// --- base store -----------------------------------------------------
-	var store kv.Store
-	switch cfg.Backend {
-	case "mem":
-		store = kv.NewMem()
-	case "lsm":
-		db, err := lsm.Open(cfg.Dir, lsm.Options{})
-		if err != nil {
-			return Result{}, err
-		}
-		store = db
+	store, err := OpenStore(cfg.Backend, cfg.Dir)
+	if err != nil {
+		return Result{}, err
 	}
 	defer store.Close()
 

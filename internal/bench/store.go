@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"fmt"
+
+	"sistream/internal/kv"
+	_ "sistream/internal/lsm" // registers the "lsm" backend driver
+)
+
+// OpenStore resolves a backend spec through the kv adapter registry —
+// the one place the harnesses open stores, replacing the per-harness
+// mem/lsm switches. dir is the default data directory for persistent
+// layers whose spec carries no inline path ("lsm" vs "lsm:<dir>").
+// Chained specs work everywhere a backend name does: "cache(256)+lsm",
+// "fault+mem", ...
+func OpenStore(spec, dir string) (*kv.OpenedStore, error) {
+	return kv.Open(spec, kv.OpenOptions{Dir: dir})
+}
+
+// validateBackend checks a backend spec against the registry without
+// opening it (directory problems surface at OpenStore time).
+func validateBackend(spec string) error {
+	if _, err := kv.SpecCaps(spec); err != nil {
+		return fmt.Errorf("bench: backend %w", err)
+	}
+	return nil
+}
+
+// cacheStatsOf returns the counters of the chain's cache tier, nil when
+// the spec has none.
+func cacheStatsOf(st *kv.OpenedStore) *kv.CacheStats {
+	c := st.CacheLayer()
+	if c == nil {
+		return nil
+	}
+	s := c.Stats()
+	return &s
+}

@@ -108,6 +108,15 @@ func NewFault(inner Store) *Fault {
 	return &Fault{inner: inner, overlay: make(map[string]faultVal)}
 }
 
+// Capabilities: the wrapper simulates durability over ANY inner store —
+// the durable image + volatile overlay make sync points meaningful, and
+// Crash/Reopen simulate the process loss — so Durable and SupportsSync
+// hold even over the memory store (that is the point of the
+// simulation). Persistence follows the inner store.
+func (f *Fault) Capabilities() Capabilities {
+	return Capabilities{Durable: true, Persistent: CapabilitiesOf(f.inner).Persistent, SupportsSync: true}
+}
+
 // FailApplyAt scripts the nth Apply call from now (1-based) to fail with
 // err, persisting nothing of that batch. Later Applies succeed again —
 // the fault is transient, unlike a sync failure. n <= 0 disarms.

@@ -24,6 +24,15 @@ type memShard struct {
 	m  map[string][]byte
 }
 
+// Capabilities: the memory store is volatile — nothing survives the
+// process, there is no data directory, and a sync request has nothing
+// to sync (Apply's sync flag and Sync are no-ops). Declaring
+// SupportsSync false lets the group-commit leader skip the sync point
+// instead of requesting one the store would ignore.
+func (s *Mem) Capabilities() Capabilities {
+	return Capabilities{}
+}
+
 // NewMem returns an empty in-memory store.
 func NewMem() *Mem {
 	s := &Mem{}

@@ -1,0 +1,159 @@
+package kv_test
+
+import (
+	"strings"
+	"testing"
+
+	"sistream/internal/kv"
+	_ "sistream/internal/lsm" // registers the "lsm" driver
+)
+
+func TestSpecParsingErrors(t *testing.T) {
+	for _, spec := range []string{
+		"",               // empty
+		"  ",             // blank
+		"+mem",           // empty layer
+		"mem+",           // empty layer
+		"nosuch",         // unknown driver
+		"cache",          // wrapper as terminal
+		"fault",          // wrapper as terminal
+		"mem+mem",        // terminal wrapping
+		"mem+cache+mem",  // terminal in wrapper position
+		"cache(4",        // unclosed argument
+		"mem(x)",         // mem takes no arg
+		"fault(x)+mem",   // fault takes no arg
+		"cache(0)+mem",   // zero capacity
+		"cache(-1)+mem",  // negative capacity
+		"cache(abc)+mem", // non-numeric capacity
+		"(4)+mem",        // missing driver name
+	} {
+		if _, err := kv.Open(spec, kv.OpenOptions{}); err == nil {
+			t.Errorf("Open(%q) unexpectedly succeeded", spec)
+		}
+	}
+	// SpecCaps must reject the structural errors without opening anything.
+	if _, err := kv.SpecCaps("cache"); err == nil {
+		t.Error("SpecCaps accepted a wrapper-terminated spec")
+	}
+	if _, err := kv.SpecCaps("nosuch"); err == nil {
+		t.Error("SpecCaps accepted an unknown driver")
+	}
+	// lsm without any directory fails at Open time, not parse time.
+	if _, err := kv.SpecCaps("lsm"); err != nil {
+		t.Errorf("SpecCaps(lsm) = %v, want nil", err)
+	}
+	if _, err := kv.Open("lsm", kv.OpenOptions{}); err == nil {
+		t.Error("Open(lsm) without a directory unexpectedly succeeded")
+	}
+}
+
+func TestSpecCapabilities(t *testing.T) {
+	cases := []struct {
+		spec string
+		want kv.Capabilities
+	}{
+		{"mem", kv.Capabilities{}},
+		{"lsm", kv.Capabilities{Durable: true, Persistent: true, SupportsSync: true}},
+		{"cache(8)+mem", kv.Capabilities{}},
+		{"cache(8)+lsm", kv.Capabilities{Durable: true, Persistent: true, SupportsSync: true}},
+		{"fault+mem", kv.Capabilities{Durable: true, SupportsSync: true}},
+		{"fault+lsm", kv.Capabilities{Durable: true, Persistent: true, SupportsSync: true}},
+		{"cache(8)+fault+mem", kv.Capabilities{Durable: true, SupportsSync: true}},
+	}
+	for _, c := range cases {
+		got, err := kv.SpecCaps(c.spec)
+		if err != nil {
+			t.Fatalf("SpecCaps(%q): %v", c.spec, err)
+		}
+		if got != c.want {
+			t.Errorf("SpecCaps(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+	// The composed caps must match what the opened chain itself reports.
+	st, err := kv.Open("cache(8)+fault+mem", kv.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if got := st.Capabilities(); got != (kv.Capabilities{Durable: true, SupportsSync: true}) {
+		t.Errorf("opened caps = %+v", got)
+	}
+	if got := kv.CapabilitiesOf(st); got != st.Capabilities() {
+		t.Errorf("CapabilitiesOf disagrees with OpenedStore: %+v", got)
+	}
+}
+
+func TestCapabilitiesOfDefaults(t *testing.T) {
+	if got := kv.CapabilitiesOf(kv.NewMem()); got != (kv.Capabilities{}) {
+		t.Errorf("mem caps = %+v, want zero", got)
+	}
+	// An unknown store keeps the pre-registry pass-through behavior.
+	unknown := struct{ kv.Store }{kv.NewMem()}
+	want := kv.Capabilities{Durable: true, Persistent: true, SupportsSync: true}
+	if got := kv.CapabilitiesOf(unknown); got != want {
+		t.Errorf("unknown-store caps = %+v, want %+v", got, want)
+	}
+}
+
+func TestOpenChainLayers(t *testing.T) {
+	st, err := kv.Open("cache(4)+fault+mem", kv.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Spec() != "cache(4)+fault+mem" {
+		t.Errorf("Spec() = %q", st.Spec())
+	}
+	layers := st.Layers()
+	if len(layers) != 3 {
+		t.Fatalf("Layers() = %d stores, want 3", len(layers))
+	}
+	if _, ok := layers[0].(*kv.Cache); !ok {
+		t.Errorf("outermost layer is %T, want *kv.Cache", layers[0])
+	}
+	if st.CacheLayer() == nil {
+		t.Error("CacheLayer() = nil")
+	}
+	if st.FaultLayer() == nil {
+		t.Error("FaultLayer() = nil")
+	}
+	if st.FindLayer(func(s kv.Store) bool { _, ok := s.(*kv.Mem); return ok }) == nil {
+		t.Error("FindLayer found no *kv.Mem terminal")
+	}
+	// A plain spec has no cache or fault layer to find.
+	plain, err := kv.Open("mem", kv.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if plain.CacheLayer() != nil || plain.FaultLayer() != nil {
+		t.Error("mem chain reports cache/fault layers")
+	}
+}
+
+func TestOpenLSMSpecForms(t *testing.T) {
+	// Inline dir and OpenOptions.Dir must both work.
+	inline, err := kv.Open("lsm:"+t.TempDir(), kv.OpenOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inline.Close(); err != nil {
+		t.Fatal(err)
+	}
+	viaOpt, err := kv.Open("lsm", kv.OpenOptions{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := viaOpt.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDriversListed(t *testing.T) {
+	names := strings.Join(kv.Drivers(), ",")
+	for _, want := range []string{"mem", "lsm", "cache", "fault"} {
+		if !strings.Contains(names, want) {
+			t.Errorf("Drivers() = %s, missing %q", names, want)
+		}
+	}
+}

@@ -780,7 +780,11 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 					sb.batch.PutOwned(rk, op.value)
 				}
 			}
-			if e.table.opts.SyncCommits {
+			// The sync point is requested only where the backend declares
+			// SupportsSync: a volatile backend has nothing to fsync, so
+			// the leader skips the request instead of issuing one the
+			// store would silently ignore.
+			if e.table.opts.SyncCommits && e.table.caps.SupportsSync {
 				sb.sync = true
 			}
 			seen := false
@@ -959,7 +963,9 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			}
 		}
 		sb.batch.Put(e.table.metaKey(), encodeTS(cts))
-		if e.table.opts.SyncCommits {
+		// Same capability gate as the single-group leader: no sync point
+		// over backends that do not support one.
+		if e.table.opts.SyncCommits && e.table.caps.SupportsSync {
 			sb.sync = true
 		}
 	}

@@ -64,6 +64,7 @@ type Table struct {
 	ctx   *Context
 	group *Group
 	store kv.Store
+	caps  kv.Capabilities
 	opts  TableOptions
 
 	shards [tableShards]tableShard
@@ -103,7 +104,7 @@ func (c *Context) CreateTable(id StateID, store kv.Store, opts TableOptions) (*T
 	if _, dup := sh.states[id]; dup {
 		return nil, fmt.Errorf("txn: table %q already exists", id)
 	}
-	t := &Table{id: id, ctx: c, store: store, opts: opts}
+	t := &Table{id: id, ctx: c, store: store, caps: kv.CapabilitiesOf(store), opts: opts}
 	for i := range t.shards {
 		t.shards[i].m = make(map[string]*mvcc.Object)
 	}
@@ -113,6 +114,13 @@ func (c *Context) CreateTable(id StateID, store kv.Store, opts TableOptions) (*T
 
 // ID returns the table's state identifier.
 func (t *Table) ID() StateID { return t.id }
+
+// Capabilities returns the capability flags of the table's base store,
+// captured at CreateTable. The group-commit leader consults them:
+// SyncCommits requests a sync point only where the backend declares
+// SupportsSync — over a volatile backend the fsync is skipped honestly
+// instead of requested and silently ignored.
+func (t *Table) Capabilities() kv.Capabilities { return t.caps }
 
 // Group returns the topology group the table belongs to (nil before
 // CreateGroup).

@@ -105,12 +105,33 @@ type (
 	AutoTunerStats = stream.AutoTunerStats
 )
 
-// Base tables.
+// Base tables and the storage adapter registry.
 type (
 	// Store is the key-value base-table interface.
 	Store = kv.Store
 	// LSMOptions configures the persistent store.
 	LSMOptions = lsm.Options
+	// StoreCapabilities are the per-backend capability flags a storage
+	// adapter declares (Durable, Persistent, SupportsSync); the
+	// group-commit leader consults them to skip sync points over
+	// backends that have none.
+	StoreCapabilities = kv.Capabilities
+	// StoreDriver is one registered storage adapter (RegisterStore).
+	StoreDriver = kv.Driver
+	// StoreOpenOptions carries chain-wide defaults for OpenStore, such
+	// as the data directory of persistent layers.
+	StoreOpenOptions = kv.OpenOptions
+	// OpenedStore is the store chain resolved from a backend spec:
+	// Store plus the composed capability flags and per-layer access
+	// (cache-tier counters, the fault wrapper's scripting surface).
+	OpenedStore = kv.OpenedStore
+	// CacheStore is the chainable read-through/write-behind cache tier
+	// ("cache(256)+lsm"); its write-behind set flushes at every
+	// durability point, preserving group-commit semantics.
+	CacheStore = kv.Cache
+	// CacheStoreStats are the cache tier's hit/miss/evict/dirty
+	// counters (CacheStore.Stats).
+	CacheStoreStats = kv.CacheStats
 )
 
 // Element kinds (transaction boundary punctuations).
@@ -170,6 +191,26 @@ var (
 	NewMemStore = func() Store { return kv.NewMem() }
 	// OpenLSM opens (creating if needed) a persistent LSM base table.
 	OpenLSM = func(dir string, opts LSMOptions) (Store, error) { return lsm.Open(dir, opts) }
+	// OpenStore resolves a backend spec through the storage adapter
+	// registry and opens the chain: "mem", "lsm:<dir>",
+	// "cache(256)+lsm", "fault+mem", ... Importing this package
+	// registers every built-in backend.
+	OpenStore = kv.Open
+	// RegisterStore makes a storage adapter available to OpenStore
+	// under a name; third-party backends plug in here.
+	RegisterStore = kv.Register
+	// StoreDrivers lists the registered storage adapter names.
+	StoreDrivers = kv.Drivers
+	// StoreSpecCaps validates a backend spec and returns its composed
+	// capability flags without opening anything.
+	StoreSpecCaps = kv.SpecCaps
+	// StoreCapabilitiesOf returns a store's declared capability flags
+	// (the conservative durable/persistent/sync default for stores that
+	// declare none).
+	StoreCapabilitiesOf = kv.CapabilitiesOf
+	// NewCacheStore wraps a store in the cache tier directly (the
+	// "cache(n)+..." spec layer does the same through OpenStore).
+	NewCacheStore = kv.NewCache
 
 	// Window aggregate functions.
 	Sum   = stream.Sum
