@@ -15,6 +15,11 @@
 //	sibench -ingest -lanes 4 -window auto  # ... with the self-tuning spine
 //	sibench -ingest -json                # ... as one JSON object
 //	sibench -ingest -lanesweep -json     # lanes 1,2,4,8 as a JSON array
+//	sibench -mixed                       # mixed read/write: ingest spine +
+//	                                     # concurrent snapshot scans, point
+//	                                     # reads and index lookups (baseline
+//	                                     # cell + mixed cell)
+//	sibench -mixed -scanlanes 8 -json    # ... as a JSON array
 //	sibench -faults                      # fault-injection smoke: sticky sync
 //	                                     # failure mid-run; time-to-fail-stop,
 //	                                     # no post-failure commit acked
@@ -61,6 +66,8 @@ func main() {
 		cell      = flag.Bool("cell", false, "run a single cell with the flags below")
 		scaling   = flag.Bool("scaling", false, "sweep concurrent writers to show group-commit scaling")
 		ingest    = flag.Bool("ingest", false, "run the single-writer dataflow ingest benchmark")
+		mixed     = flag.Bool("mixed", false, "run the mixed read/write benchmark: the ingest spine with concurrent snapshot scans, point reads and index lookups (ingest-only baseline cell + mixed cell)")
+		scanLanes = flag.Int("scanlanes", 4, "mixed: parallel stripes per snapshot scan")
 		faults    = flag.Bool("faults", false, "run the fault-injection smoke mode: ingest over a fault store, sticky sync failure mid-run; reports time-to-fail-stop and verifies no post-failure commit is acked")
 		failAt    = flag.Int("failat", 0, "faults: durability point (sync) to fail at (0 = halfway)")
 		elements  = flag.Int("elements", 1_000_000, "ingest: data elements pushed through the pipeline")
@@ -161,6 +168,13 @@ func main() {
 			fatal(err)
 		}
 		bench.PrintFaults(os.Stdout, res)
+	case *mixed:
+		results := mixedSweep(icfg, *scanLanes, !*jsonOut, freshDir)
+		if *jsonOut {
+			if err := bench.WriteMixedJSON(os.Stdout, results); err != nil {
+				fatal(err)
+			}
+		}
 	case *benchJSON:
 		runBenchJSON(icfg, freshDir)
 	case *adaptive:
@@ -420,12 +434,42 @@ func runFeed(icfg bench.IngestConfig, partitions int, sweep, jsonOut bool, fresh
 	}
 }
 
+// mixedSweep runs the mixed read/write benchmark as two cells on an
+// identical ingest workload: first the ingest-only baseline (no index,
+// no readers — RunIngest's exact pipeline through the mixed harness, so
+// any index/reader overhead is measured against it, not guessed), then
+// the fully mixed cell (secondary index maintained in the write path,
+// plus concurrent snapshot scanners, point readers and index readers).
+// The "Mixed" key of BENCH_ingest.json, shared by -mixed and -benchjson.
+// freshDir supplies a new data directory per persistent cell.
+func mixedSweep(icfg bench.IngestConfig, scanLanes int, print bool, freshDir func() string) []bench.MixedResult {
+	cells := []bench.MixedConfig{
+		{Ingest: icfg},
+		{Ingest: icfg, Index: true, Scanners: 1, PointReaders: 1, IndexReaders: 1, ScanLanes: scanLanes},
+	}
+	var results []bench.MixedResult
+	for _, cell := range cells {
+		cell.Ingest.Dir = freshDir() // fresh per cell; unused by volatile specs
+		res, err := bench.RunMixed(cell)
+		if err != nil {
+			fatal(err)
+		}
+		results = append(results, res)
+		if print {
+			bench.PrintMixed(os.Stdout, res)
+		}
+	}
+	return results
+}
+
 // runBenchJSON regenerates the checked-in BENCH_ingest.json: the ingest
 // lane sweep, the feed partition sweep, the end-to-end pipeline sweep
 // (fused/unfused × commit window 1/8), the adaptive cells (the same
-// pipeline under the self-tuning spine) and the backend sweep (mem vs
-// lsm vs cache(256)+lsm on one workload) as one JSON object with keys
-// "Ingest", "Feed", "Pipeline", "Adaptive" and "Backends". The
+// pipeline under the self-tuning spine), the backend sweep (mem vs lsm
+// vs cache(256)+lsm on one workload) and the mixed read/write sweep
+// (ingest-only baseline cell + concurrent scans/point-reads/index-lookups
+// cell) as one JSON object with keys "Ingest", "Feed", "Pipeline",
+// "Adaptive", "Backends" and "Mixed". The
 // checked-in file is produced with `sibench -benchjson -backend mem`.
 // Ingest and Feed run on the chosen backend; the Pipeline and Adaptive
 // sweeps ALWAYS run on the lsm backend with synchronous commits —
@@ -437,6 +481,10 @@ func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
 	icfg.Auto = false
 	ingests := ingestLaneSweep(icfg, false, freshDir)
 	icfg.Lanes = 1
+	// The mixed sweep runs immediately after the ingest sweep: its
+	// ingest-only baseline cell is the number the mixed cell is judged
+	// against, so the two must be measured under the same process state.
+	mixeds := mixedSweep(icfg, 4, false, freshDir)
 	feeds := feedPartSweep(icfg, false, freshDir)
 	backends := backendSweep(icfg, false, freshDir)
 	// The canonical pipeline configuration of the checked-in file: the
@@ -455,7 +503,8 @@ func runBenchJSON(icfg bench.IngestConfig, freshDir func() string) {
 		Pipeline []bench.PipelineResult
 		Adaptive []bench.PipelineResult
 		Backends []bench.IngestResult
-	}{ingests, feeds, pipelines, adaptives, backends}); err != nil {
+		Mixed    []bench.MixedResult
+	}{ingests, feeds, pipelines, adaptives, backends, mixeds}); err != nil {
 		fatal(err)
 	}
 }

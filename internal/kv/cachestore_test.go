@@ -241,3 +241,67 @@ func TestCacheClose(t *testing.T) {
 		t.Errorf("second Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestCacheScanFlushesDirtyOverlap is the Scan-as-durability-point
+// regression: dirty write-behind entries staged BEFORE a Scan must be
+// (a) visible to that very Scan and (b) flushed to the inner store in
+// exactly ONE atomic inner Apply — a scan must never read around the
+// write-behind set, and must never split the staged batch.
+func TestCacheScanFlushesDirtyOverlap(t *testing.T) {
+	inner := &countingStore{Store: kv.NewMem()}
+	c := kv.NewCache(inner, 64)
+	defer c.Close()
+
+	// Stage dirty entries through several write-behind Applies, including
+	// a delete over a previously staged key — no durability point yet.
+	b := kv.NewBatch(2)
+	b.Put([]byte("scan/a"), []byte("1"))
+	b.Put([]byte("scan/b"), []byte("2"))
+	if err := c.Apply(b, false); err != nil {
+		t.Fatal(err)
+	}
+	b = kv.NewBatch(2)
+	b.Put([]byte("scan/c"), []byte("3"))
+	b.Delete([]byte("scan/b"))
+	if err := c.Apply(b, false); err != nil {
+		t.Fatal(err)
+	}
+	if applies, _, _, _ := inner.counts(); applies != 0 {
+		t.Fatalf("inner saw %d applies before the scan", applies)
+	}
+
+	// The scan is a durability point: it must observe the staged state
+	// (a and c present, b deleted) ...
+	seen := map[string]string{}
+	if err := c.Scan([]byte("scan/"), []byte("scan/\xff"), func(k, v []byte) bool {
+		seen[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen["scan/a"] != "1" || seen["scan/c"] != "3" {
+		t.Fatalf("scan saw %v, want staged a=1 and c=3 with b deleted", seen)
+	}
+
+	// ... and have pushed the whole staged set down in ONE inner Apply
+	// carrying all three net operations (two puts + one delete; the
+	// staged b put and its delete coalesce into the delete).
+	applies, syncApply, _, ops := inner.counts()
+	if applies != 1 {
+		t.Fatalf("scan flushed in %d inner applies, want exactly 1 atomic apply", applies)
+	}
+	if syncApply != 0 {
+		t.Fatalf("scan flush requested fsync (%d), want an unsynced flush", syncApply)
+	}
+	if ops != 3 {
+		t.Fatalf("scan flush carried %d ops, want 3 (a, c, delete b)", ops)
+	}
+
+	// A second scan with nothing staged must not apply again.
+	if err := c.Scan([]byte("scan/"), []byte("scan/\xff"), func(_, _ []byte) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	if applies, _, _, _ = inner.counts(); applies != 1 {
+		t.Fatalf("clean scan re-applied (%d total applies), want still 1", applies)
+	}
+}

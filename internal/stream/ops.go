@@ -61,6 +61,7 @@ func (s *Stream) Punctuate(n int) *Stream {
 	if n <= 0 {
 		panic("stream: Punctuate needs n >= 1")
 	}
+	s.t.note("operator", "punctuate", fmt.Sprintf("every=%d (fused)", n), nil)
 	// explicit: inside a transaction delimited by punctuations already
 	// present in the input — those are passed through untouched.
 	// auto: inside a transaction this operator opened itself.
@@ -151,7 +152,11 @@ func (s *Stream) TransactionsWindow(p txn.Protocol, window int, tables ...*txn.T
 	if window < 1 {
 		panic("stream: TransactionsWindow needs window >= 1")
 	}
-	return s.transactionsPipeline(p, func() int { return window }, window > 1, tables...)
+	desc := fmt.Sprintf("protocol=%s window=%d (serialized)", p.Name(), window)
+	if window > 1 {
+		desc = fmt.Sprintf("protocol=%s window=%d (chained)", p.Name(), window)
+	}
+	return s.transactionsPipeline(p, func() int { return window }, window > 1, desc, nil, tables...)
 }
 
 // TransactionsTuned is TransactionsWindow with the window under control
@@ -169,15 +174,27 @@ func (s *Stream) TransactionsTuned(p txn.Protocol, tun *AutoTuner, tables ...*tx
 	if tun == nil {
 		panic("stream: TransactionsTuned needs a tuner")
 	}
-	return s.transactionsPipeline(p, tun.Window, true, tables...)
+	desc := fmt.Sprintf("protocol=%s window=auto (tuner, chained)", p.Name())
+	return s.transactionsPipeline(p, tun.Window, true, desc, tun, tables...)
 }
 
 // transactionsPipeline is the shared implementation of Transactions /
 // TransactionsWindow / TransactionsTuned: window yields the current
 // in-flight bound (constant or tuner-driven), chained attaches the
-// shared txn.Chain.
-func (s *Stream) transactionsPipeline(p txn.Protocol, window func() int, chained bool, tables ...*txn.Table) *Stream {
+// shared txn.Chain. desc and tun feed the recorded plan (explain.go):
+// desc states the window decision, tun (when non-nil) adds the live
+// controller position to the step's runtime figures.
+func (s *Stream) transactionsPipeline(p txn.Protocol, window func() int, chained bool, desc string, tun *AutoTuner, tables ...*txn.Table) *Stream {
 	out := s.t.newStream()
+	occ := occOf(out)
+	live := occ
+	if tun != nil {
+		live = func() string {
+			st := tun.Stats()
+			return fmt.Sprintf("%s, window=%d linger=%s grows=%d shrinks=%d", occ(), st.Window, st.Linger, st.Grows, st.Shrinks)
+		}
+	}
+	s.t.note("operator", "transactions", desc, live)
 	var cur *txn.Txn
 	var inflight []*txn.Txn
 	var chain *txn.Chain

@@ -150,8 +150,13 @@ func (s *Stream) Parallelize(p int, keyFn *KeyFn) *ParallelRegion {
 		panic("stream: Parallelize needs p >= 1")
 	}
 	r := &ParallelRegion{t: s.t, key: keyFn}
+	keyDesc := "default"
+	if keyFn != nil {
+		keyDesc = "custom"
+	}
 	if p == 1 {
 		r.lanes = []*Stream{s}
+		s.t.note("region", "parallelize", "lanes=1 (identity, no router)", nil)
 		return r
 	}
 	route := keyFn.tupleFn()
@@ -159,6 +164,7 @@ func (s *Stream) Parallelize(p int, keyFn *KeyFn) *ParallelRegion {
 	for i := range r.lanes {
 		r.lanes[i] = s.t.newStream()
 	}
+	s.t.note("region", "parallelize", fmt.Sprintf("lanes=%d key=%s (hash-routed, punctuations broadcast)", p, keyDesc), occOf(r.lanes...))
 	pend := make([][]Element, p)
 	// ship sends lane i's pending batch (blocking) and clears it. A
 	// non-nil pending batch always holds at least one element (it is
@@ -260,6 +266,7 @@ func (r *ParallelRegion) Reparallelize(name string, p int, keyFn *KeyFn) *Parall
 	}
 	if p == len(r.lanes) && (p == 1 || keyFn == r.key) {
 		r.merged = true
+		r.t.note("region", name, fmt.Sprintf("fused lane-for-lane (lanes=%d, matching partitioning — no merge, no re-route)", p), nil)
 		return &ParallelRegion{
 			t:       r.t,
 			lanes:   r.lanes,
@@ -268,6 +275,7 @@ func (r *ParallelRegion) Reparallelize(name string, p int, keyFn *KeyFn) *Parall
 			key:     r.key,
 		}
 	}
+	r.t.note("region", name, "reroute (partitioning mismatch: merge + re-hash)", nil)
 	return r.Merge(name).Parallelize(p, keyFn)
 }
 
@@ -376,6 +384,9 @@ func (r *ParallelRegion) ToTable(p txn.Protocol, tbl *txn.Table) *ToTableStats {
 	r.checkOpen("ToTable")
 	stats := &ToTableStats{}
 	name := "to_table/" + string(tbl.ID())
+	r.t.note("table", name, fmt.Sprintf("protocol=%s lanes=%d (per-lane segments)", p.Name(), len(r.lanes)), func() string {
+		return fmt.Sprintf("writes=%d commits=%d aborts=%d", stats.Writes.Load(), stats.Commits.Load(), stats.Aborts.Load())
+	})
 	sw, _ := p.(txn.SegmentWriter)
 	ctl := &laneTableCtl{}
 	for i := range r.lanes {
@@ -611,6 +622,22 @@ func (r *ParallelRegion) close(name string, onPunct func(Element), sp *commitSpi
 	r.checkOpen("Merge")
 	r.merged = true
 	out := r.t.newStream()
+	switch {
+	case sp == nil:
+		r.t.note("spine", name, fmt.Sprintf("merge barrier, lanes=%d (synchronous commit at barrier)", len(r.lanes)), occOf(out))
+	case sp.tun != nil:
+		occ := occOf(out)
+		r.t.note("spine", name, fmt.Sprintf("commit spine, lanes=%d batch<=auto (tuner)", len(r.lanes)), func() string {
+			st := sp.tun.Stats()
+			return fmt.Sprintf("%s, queue %d/%d, window=%d linger=%s grows=%d shrinks=%d",
+				occ(), len(sp.q), cap(sp.q), st.Window, st.Linger, st.Grows, st.Shrinks)
+		})
+	default:
+		occ := occOf(out)
+		r.t.note("spine", name, fmt.Sprintf("commit spine, lanes=%d batch<=%d", len(r.lanes), sp.maxBatch), func() string {
+			return fmt.Sprintf("%s, queue %d/%d", occ(), len(sp.q), cap(sp.q))
+		})
+	}
 	b := &laneBarrier{n: len(r.lanes), out: out, resume: make(chan struct{}), onPunct: onPunct}
 	var wg sync.WaitGroup
 	wg.Add(len(r.lanes))

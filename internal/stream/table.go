@@ -40,6 +40,9 @@ func (s *Stream) ToTable(p txn.Protocol, tbl *txn.Table) (*Stream, *ToTableStats
 	out := s.t.newStream()
 	stats := &ToTableStats{}
 	name := "to_table/" + string(tbl.ID())
+	s.t.note("table", name, "protocol="+p.Name()+" lanes=1 (sequential, vectorized runs)", func() string {
+		return fmt.Sprintf("writes=%d commits=%d aborts=%d", stats.Writes.Load(), stats.Commits.Load(), stats.Aborts.Load())
+	})
 
 	var (
 		poisoned bool
@@ -250,6 +253,38 @@ func changeTuple(tbl *txn.Table, key string, cts txn.Timestamp) Tuple {
 		}
 	}
 	return tuple
+}
+
+// FromSnapshot is the analytical FROM(table) source: it scans tbl at the
+// given pinned snapshot with `lanes` concurrent stripe scanners (see
+// txn.Snapshot.ScanStripe) and emits one data element per visible row —
+// Key the row key, Value the row's committed value at the snapshot, Ts
+// the snapshot's commit timestamp. With lanes > 1 the per-lane streams
+// are merged, so cross-key emission order is arbitrary; every visible
+// row is emitted exactly once. The caller owns the snapshot: Release it
+// after the topology ran (the scan holds its GC pin for the duration).
+func FromSnapshot(t *Topology, snap *txn.Snapshot, tbl *txn.Table, lanes int) *Stream {
+	if lanes < 1 {
+		lanes = 1
+	}
+	name := "scan/" + string(tbl.ID())
+	mk := func(lane int) *Stream {
+		return t.Source(fmt.Sprintf("%s/stripe%d", name, lane), func(emit func(Element)) error {
+			return snap.ScanStripe(tbl, lane, lanes, func(key string, value []byte) bool {
+				emit(Element{Kind: KindData, Tuple: Tuple{Key: key, Value: value, Ts: int64(snap.CTS())}})
+				return true
+			})
+		})
+	}
+	t.note("source", name, fmt.Sprintf("snapshot scan, cts=%d lanes=%d", snap.CTS(), lanes), nil)
+	if lanes == 1 {
+		return mk(0)
+	}
+	parts := make([]*Stream, lanes)
+	for i := range parts {
+		parts[i] = mk(i)
+	}
+	return Merge(name+"/merge", parts...)
 }
 
 // KV is one row of a snapshot query result.

@@ -18,6 +18,12 @@ type Topology struct {
 	mu      sync.Mutex
 	errs    []error
 	started bool
+
+	// Recorded plan (see explain.go): construction-time notes plus live
+	// samplers, append-only under its own mutex so Explain can run while
+	// the topology does.
+	planMu sync.Mutex
+	plan   []*planNode
 }
 
 // New creates an empty topology.
@@ -96,6 +102,7 @@ func (t *Topology) spawn(op string, body func()) {
 // edge (a backlogged consumer) makes batches grow toward batchCap.
 func (t *Topology) Source(name string, gen func(emit func(Element)) error) *Stream {
 	out := t.newStream()
+	t.note("source", name, "", occOf(out))
 	t.spawn(name, func() {
 		<-t.start
 		em := newEmitter(out)
@@ -112,6 +119,7 @@ func (t *Topology) Source(name string, gen func(emit func(Element)) error) *Stre
 // examples convenience). The input is pre-chunked into full batches.
 func (t *Topology) SliceSource(name string, tuples []Tuple) *Stream {
 	out := t.newStream()
+	t.note("source", name, fmt.Sprintf("%d tuples", len(tuples)), occOf(out))
 	t.spawn(name, func() {
 		defer close(out.ch)
 		<-t.start

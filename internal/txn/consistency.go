@@ -753,6 +753,13 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	var (
 		batches []*storeBatch
 		tables  []*Table
+		// Secondary-index maintenance: posting mutations per admitted
+		// request (installed in phase 4 at the request's cts), and the
+		// pending post-write images of keys already visited in this batch
+		// (the pre-image of a later same-batch write of the same key).
+		// Both stay nil while no touched table has indexes.
+		reqDeltas [][]indexDelta
+		preimage  map[*Table]map[string]rowImage
 	)
 	getSB := func(st kv.Store) *storeBatch {
 		for _, sb := range batches {
@@ -764,9 +771,11 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 		batches = append(batches, sb)
 		return sb
 	}
-	for _, req := range admitted {
+	for ri, req := range admitted {
+		var deltas []indexDelta
 		for _, e := range req.entries {
 			sb := getSB(e.table.store)
+			ixs := e.table.indexSet()
 			for i, key := range e.order {
 				op := &e.ops[i]
 				off := len(sb.arena)
@@ -778,6 +787,41 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 					sb.batch.DeleteOwned(rk)
 				} else {
 					sb.batch.PutOwned(rk, op.value)
+				}
+				if len(ixs) > 0 {
+					// Index mutations join the SAME durability batch as the
+					// row (posting rows share its arena) and are stashed for
+					// install at the SAME commit timestamp in phase 4 — the
+					// index is never ahead of or behind its table.
+					img, found := rowImage{}, false
+					if m := preimage[e.table]; m != nil {
+						img, found = m[key]
+					}
+					oldVal, hadOld := img.val, found && !img.del
+					if !found {
+						oldVal, hadOld = latestImage(e.table, op.obj, key)
+					}
+					start := len(deltas)
+					deltas = indexDeltasFor(deltas, ixs, key, op.value, op.delete, oldVal, hadOld)
+					for _, d := range deltas[start:] {
+						ioff := len(sb.arena)
+						sb.arena = d.ix.appendRowKey(sb.arena, d.ikey, d.pkey)
+						irk := sb.arena[ioff:len(sb.arena):len(sb.arena)]
+						if d.del {
+							sb.batch.DeleteOwned(irk)
+						} else {
+							sb.batch.PutOwned(irk, nil)
+						}
+					}
+					if preimage == nil {
+						preimage = make(map[*Table]map[string]rowImage)
+					}
+					m := preimage[e.table]
+					if m == nil {
+						m = make(map[string]rowImage)
+						preimage[e.table] = m
+					}
+					m[key] = rowImage{val: op.value, del: op.delete}
 				}
 			}
 			// The sync point is requested only where the backend declares
@@ -797,6 +841,12 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 			if !seen {
 				tables = append(tables, e.table)
 			}
+		}
+		if deltas != nil {
+			if reqDeltas == nil {
+				reqDeltas = make([][]indexDelta, len(admitted))
+			}
+			reqDeltas[ri] = deltas
 		}
 	}
 	// One watermark per touched table: everything below maxCTS in this
@@ -836,7 +886,7 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 	// the group is poisoned with the diagnostic and the whole batch stays
 	// invisible (LastCTS is never published) — instead of killing the
 	// embedding process.
-	for _, req := range admitted {
+	for ri, req := range admitted {
 		for _, e := range req.entries {
 			for i, key := range e.order {
 				op := &e.ops[i]
@@ -845,6 +895,17 @@ func (p *protocolBase) leaderCommit(g *Group, batch []*commitReq) {
 					o = e.table.object(key, true)
 				}
 				if err := o.Install(req.cts, op.value, op.delete, horizon); err != nil {
+					g.fail(fmt.Errorf("txn: install invariant violated: %w", err))
+					p.failReqs(admitted, g.Err())
+					return
+				}
+			}
+		}
+		if reqDeltas != nil {
+			// Posting installs at the row's cts, right after the rows: a
+			// snapshot sees the index mutation exactly when it sees the row.
+			for _, d := range reqDeltas[ri] {
+				if err := d.ix.install(d.ikey, d.pkey, req.cts, d.del, horizon); err != nil {
 					g.fail(fmt.Errorf("txn: install invariant violated: %w", err))
 					p.failReqs(admitted, g.Err())
 					return
@@ -946,6 +1007,7 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 		sync  bool
 	}
 	var batches []*storeBatch
+	var deltas []indexDelta
 	byStore := map[kv.Store]*storeBatch{}
 	for _, e := range entries {
 		sb, ok := byStore[e.table.store]
@@ -954,12 +1016,28 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 			byStore[e.table.store] = sb
 			batches = append(batches, sb)
 		}
+		ixs := e.table.indexSet()
 		for i, key := range e.order {
 			op := &e.ops[i]
 			if op.delete {
 				sb.batch.Delete(e.table.rowKey(key))
 			} else {
 				sb.batch.Put(e.table.rowKey(key), op.value)
+			}
+			if len(ixs) > 0 {
+				// Single transaction: the pre-image is always the installed
+				// state (a write set holds one op per key). Posting rows join
+				// the same per-store durability batch as the rows.
+				oldVal, hadOld := latestImage(e.table, op.obj, key)
+				start := len(deltas)
+				deltas = indexDeltasFor(deltas, ixs, key, op.value, op.delete, oldVal, hadOld)
+				for _, d := range deltas[start:] {
+					if d.del {
+						sb.batch.Delete(d.ix.appendRowKey(nil, d.ikey, d.pkey))
+					} else {
+						sb.batch.Put(d.ix.appendRowKey(nil, d.ikey, d.pkey), nil)
+					}
+				}
 			}
 		}
 		sb.batch.Put(e.table.metaKey(), encodeTS(cts))
@@ -1004,6 +1082,16 @@ func (p *protocolBase) multiGroupCommit(groups []*Group, tx *Txn, admit func(*co
 				p.abortLocked(tx)
 				return fmt.Errorf("%w: %w", ErrGroupFailed, cause)
 			}
+		}
+	}
+	for _, d := range deltas {
+		if err := d.ix.install(d.ikey, d.pkey, cts, d.del, horizon); err != nil {
+			cause := fmt.Errorf("txn: install invariant violated: %w", err)
+			for _, g := range groups {
+				g.fail(cause)
+			}
+			p.abortLocked(tx)
+			return fmt.Errorf("%w: %w", ErrGroupFailed, cause)
 		}
 	}
 

@@ -1,0 +1,259 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"sistream/internal/kv"
+)
+
+// TestSnapshotBasics pins the Snapshot API contract: coverage gating,
+// consistent Get/Scan, stripe partitioning, and idempotent release.
+func TestSnapshotBasics(t *testing.T) {
+	e := newEnv(t)
+	p := NewSI(e.ctx)
+	write(t, p, e.t1, "a", "1", "b", "2", "c", "3")
+	write(t, p, e.t2, "x", "9")
+
+	snap, err := e.ctx.Snapshot(e.t1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, err := snap.Get(e.t1, "a"); err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get(a) = %q %v %v, want 1", v, ok, err)
+	}
+	// t2 was not declared: every accessor must refuse it.
+	if _, _, err := snap.Get(e.t2, "x"); err == nil {
+		t.Fatal("Get on undeclared table succeeded")
+	}
+	if err := snap.Scan(e.t2, func(string, []byte) bool { return true }); err == nil {
+		t.Fatal("Scan on undeclared table succeeded")
+	}
+
+	// A commit AFTER the pin must stay invisible to the snapshot.
+	write(t, p, e.t1, "d", "4", "a", "10")
+	seen := map[string]string{}
+	if err := snap.Scan(e.t1, func(k string, v []byte) bool {
+		seen[k] = string(v)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 3 || seen["a"] != "1" {
+		t.Fatalf("snapshot scan saw %v, want the 3 pre-pin rows with a=1", seen)
+	}
+
+	// Stripes partition: union over stripes == full scan, no overlap.
+	union := map[string]bool{}
+	for stripe := 0; stripe < 4; stripe++ {
+		if err := snap.ScanStripe(e.t1, stripe, 4, func(k string, _ []byte) bool {
+			if union[k] {
+				t.Fatalf("key %s seen in two stripes", k)
+			}
+			union[k] = true
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(union) != 3 {
+		t.Fatalf("stripe union has %d keys, want 3", len(union))
+	}
+	if err := snap.ScanStripe(e.t1, 4, 4, nil); err == nil {
+		t.Fatal("out-of-range stripe accepted")
+	}
+
+	// Range scan honors [start, end).
+	var ranged []string
+	if err := snap.ScanRange(e.t1, "a", "c", func(k string, _ []byte) bool {
+		ranged = append(ranged, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ranged) != 2 {
+		t.Fatalf("ScanRange[a,c) saw %v, want a and b", ranged)
+	}
+
+	snap.Release()
+	snap.Release() // idempotent
+	if _, _, err := snap.Get(e.t1, "a"); err != ErrFinished {
+		t.Fatalf("Get after Release = %v, want ErrFinished", err)
+	}
+}
+
+// TestStressSnapshotNoPartialTxn hammers multi-table snapshots against
+// concurrent writers: every writer transaction writes the SAME value to
+// both tables, so any snapshot — point reads or a lane-parallel scan —
+// observing two different values has seen a partial transaction. Run
+// under -race (CI does); skipped with -short.
+func TestStressSnapshotNoPartialTxn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress hammer skipped in -short mode")
+	}
+	e := newEnv(t)
+	p := NewSI(e.ctx)
+	const pairs = 16
+	key := func(i int) string { return fmt.Sprintf("pair%02d", i) }
+	for i := 0; i < pairs; i++ {
+		write(t, p, e.t1, key(i), "0")
+		write(t, p, e.t2, key(i), "0")
+	}
+
+	h := newHammer(t)
+	workers := stressWorkers()
+	writers := workers / 4
+	if writers < 2 {
+		writers = 2
+	}
+
+	// Writers: pick a pair, bump it in BOTH tables within one transaction.
+	for w := 0; w < writers; w++ {
+		rng := newRand(int64(w))
+		h.spawn(1, func(int) bool {
+			tx, err := p.Begin()
+			if err != nil {
+				h.t.Error(err)
+				return false
+			}
+			k := key(rng.Intn(pairs))
+			v, _, err := p.Read(tx, e.t1, k)
+			if err != nil {
+				h.t.Error(err)
+				return false
+			}
+			next := encodeU64(decodeU64(v) + 1)
+			if p.Write(tx, e.t1, k, next) != nil || p.Write(tx, e.t2, k, next) != nil {
+				h.t.Error("buffered write failed")
+				return false
+			}
+			if err := p.Commit(tx); err != nil && !IsAbort(err) {
+				h.t.Error(err)
+				return false
+			}
+			return true
+		})
+	}
+
+	// Point readers: one multi-table snapshot, Get the pair from both
+	// tables — values must match exactly.
+	h.spawn(workers/2, func(id int) bool {
+		snap, err := e.ctx.Snapshot(e.t1, e.t2)
+		if err != nil {
+			h.t.Error(err)
+			return false
+		}
+		defer snap.Release()
+		k := key(id % pairs)
+		v1, ok1, err1 := snap.Get(e.t1, k)
+		v2, ok2, err2 := snap.Get(e.t2, k)
+		if err1 != nil || err2 != nil {
+			h.t.Errorf("snapshot get: %v %v", err1, err2)
+			return false
+		}
+		if ok1 != ok2 || decodeU64(v1) != decodeU64(v2) {
+			h.t.Errorf("torn snapshot at cts %d: %s = %d vs %d", snap.CTS(), k, decodeU64(v1), decodeU64(v2))
+			return false
+		}
+		return true
+	})
+
+	// Scanners: lane-parallel scan of t1 under the same snapshot, then
+	// verify every scanned pair against t2 point reads at the same cut.
+	h.spawn(workers-writers-workers/2, func(int) bool {
+		snap, err := e.ctx.Snapshot(e.t1, e.t2)
+		if err != nil {
+			h.t.Error(err)
+			return false
+		}
+		defer snap.Release()
+		type kvpair struct {
+			k string
+			v uint64
+		}
+		rows := make(chan kvpair, pairs)
+		if err := snap.ParallelScan(e.t1, 4, func(k string, v []byte) bool {
+			rows <- kvpair{k, decodeU64(v)}
+			return true
+		}); err != nil {
+			h.t.Error(err)
+			return false
+		}
+		close(rows)
+		for r := range rows {
+			v2, ok, err := snap.Get(e.t2, r.k)
+			if err != nil {
+				h.t.Error(err)
+				return false
+			}
+			if !ok || decodeU64(v2) != r.v {
+				h.t.Errorf("torn parallel scan at cts %d: %s = %d in t1, %d in t2", snap.CTS(), r.k, r.v, decodeU64(v2))
+				return false
+			}
+		}
+		return true
+	})
+
+	time.Sleep(2 * time.Second)
+	h.finish()
+}
+
+// TestSnapshotReleaseBoundsResidentVersions is the GC-pin regression: a
+// long-held snapshot must pin every version it can see (a scan mid-way
+// through the table cannot have rows reclaimed under it), and releasing
+// it must make those versions reclaimable again — residency is bounded
+// by the pin's lifetime, not leaked forever.
+func TestSnapshotReleaseBoundsResidentVersions(t *testing.T) {
+	ctx := NewContext()
+	store := kv.NewMem()
+	t.Cleanup(func() { store.Close() })
+	tbl, err := ctx.CreateTable("rows", store, TableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctx.CreateGroup("rows", tbl); err != nil {
+		t.Fatal(err)
+	}
+	p := NewSI(ctx)
+
+	const keys, rewrites = 32, 20
+	key := func(i int) string { return fmt.Sprintf("k%02d", i) }
+	for i := 0; i < keys; i++ {
+		write(t, p, tbl, key(i), "seed")
+	}
+
+	// Pin a snapshot (a stalled analytical scan), then churn versions.
+	snap, err := ctx.Snapshot(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < rewrites; r++ {
+		for i := 0; i < keys; i++ {
+			write(t, p, tbl, key(i), fmt.Sprintf("v%d", r))
+		}
+	}
+
+	// While pinned, GC may reclaim nothing visible to the snapshot: the
+	// seed versions must survive a full sweep, and the snapshot must
+	// still read them.
+	tbl.GC()
+	held := tbl.ResidentVersions()
+	if held < keys*2 {
+		t.Fatalf("resident versions %d while pinned, want at least seed+latest per key (%d)", held, keys*2)
+	}
+	for i := 0; i < keys; i++ {
+		v, ok, err := snap.Get(tbl, key(i))
+		if err != nil || !ok || string(v) != "seed" {
+			t.Fatalf("pinned snapshot read %q %v %v, want seed", v, ok, err)
+		}
+	}
+
+	// Release: the horizon advances past the churn, and one sweep must
+	// collapse residency to the live row per key.
+	snap.Release()
+	tbl.GC()
+	if got := tbl.ResidentVersions(); got > keys {
+		t.Fatalf("resident versions %d after release+GC, want <= %d (one live version per key)", got, keys)
+	}
+}

@@ -69,6 +69,10 @@ type Table struct {
 
 	shards [tableShards]tableShard
 
+	// Secondary indexes (Table.CreateIndex), copy-on-write so the
+	// group-commit leader reads the set with one atomic load per entry.
+	indexes atomic.Pointer[[]*Index]
+
 	// Sweeper bookkeeping (see TableOptions.GCEveryCommits): commits into
 	// this table since the last sweep, a single-flight guard, the next
 	// shard the incremental sweeper visits, and the cumulative counters
@@ -238,6 +242,14 @@ func (t *Table) sweep(from, count int) int {
 		sh.mu.RUnlock()
 		for _, o := range objs {
 			n += o.GC(horizon)
+		}
+	}
+	// Index postings age with their rows: each sweep also reclaims a
+	// proportional slice of every secondary index's posting versions.
+	if ixs := t.indexSet(); len(ixs) > 0 {
+		ic := count * indexShards / tableShards
+		for _, ix := range ixs {
+			n += ix.gc(horizon, ic)
 		}
 	}
 	t.gcRuns.Add(1)

@@ -58,6 +58,20 @@ type (
 	// per-batch sync and install latency summaries plus the batch-size
 	// EWMA the group-commit leader records (Group.CommitProfile).
 	CommitProfile = txn.CommitProfile
+	// Snapshot is a consistent analytical read view: one commit timestamp
+	// pinned across one or more tables (Context.Snapshot), serving point
+	// reads, full/range/lane-parallel scans and index lookups, all
+	// wait-free against writers and protected from GC until Release.
+	Snapshot = txn.Snapshot
+	// Index is a transactional secondary index over one table
+	// (Table.CreateIndex), maintained on the commit path itself so it is
+	// never ahead of or behind its table under any protocol.
+	Index = txn.Index
+	// IndexKeyFunc derives a row's index key; ok=false excludes the row
+	// (a partial index).
+	IndexKeyFunc = txn.IndexKeyFunc
+	// IndexStats are an index's lifetime counters (Index.Stats).
+	IndexStats = txn.IndexStats
 )
 
 // DefaultFeedBuf is the default commit buffer of change feeds (ToStream,
@@ -103,6 +117,10 @@ type (
 	// AutoTunerStats is a point-in-time controller snapshot
 	// (AutoTuner.Stats): current window/linger and resize counts.
 	AutoTunerStats = stream.AutoTunerStats
+	// PlanStep is one step of a topology's recorded query plan
+	// (Topology.Plan, rendered by Explain): its kind, name, construction
+	// decision and a live runtime sample.
+	PlanStep = stream.PlanStep
 )
 
 // Base tables and the storage adapter registry.
@@ -174,6 +192,13 @@ var (
 	FromTablePartitioned = stream.FromTablePartitioned
 	// TableSnapshot is the ad-hoc FROM(table) snapshot query.
 	TableSnapshot = stream.TableSnapshot
+	// FromSnapshot streams a pinned Snapshot's rows of one table as a
+	// lane-parallel scan source (the analytical FROM(table) source).
+	FromSnapshot = stream.FromSnapshot
+	// Explain renders a topology's recorded query plan: every step's
+	// construction decisions (fusion, lanes, reroutes, window mode) plus
+	// live runtime figures (channel occupancy, tuner position, counters).
+	Explain = stream.Explain
 	// QueryKeys runs point reads under one read-only transaction.
 	QueryKeys = stream.QueryKeys
 	// DataElement wraps a tuple into a stream element.
